@@ -1,0 +1,292 @@
+// Package opendesc hosts the repository-level benchmarks: one Benchmark per
+// experiment of DESIGN.md's index (tables E1–E14), driving the same harness
+// code as cmd/descbench through testing.B so `go test -bench=.` regenerates
+// every number.
+package opendesc
+
+import (
+	"fmt"
+	"testing"
+
+	"opendesc/internal/baseline"
+	"opendesc/internal/bench"
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/p4/parser"
+	"opendesc/internal/p4/sema"
+	"opendesc/internal/ring"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/workload"
+)
+
+func mustIntent(b *testing.B, sems ...semantics.Name) *core.Intent {
+	b.Helper()
+	it, err := core.IntentFromSemantics("bench", semantics.Default, sems...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return it
+}
+
+// BenchmarkE1_PathSelection times the Fig. 6 running example: CFG extraction,
+// path enumeration and Eq. 1 selection on the e1000e description.
+func BenchmarkE1_PathSelection(b *testing.B) {
+	m := nic.MustLoad("e1000e")
+	intent := mustIntent(b, semantics.RSS, semantics.IPChecksum)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Compile(intent, core.CompileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Selected.Path.Prov().Has(semantics.IPChecksum) {
+			b.Fatal("Fig. 6 invariant violated")
+		}
+	}
+}
+
+// BenchmarkE2_MultiNIC compiles one intent against every bundled NIC (the §4
+// prototype showcase).
+func BenchmarkE2_MultiNIC(b *testing.B) {
+	intent := mustIntent(b, semantics.RSS, semantics.VLAN, semantics.IPChecksum, semantics.PktLen)
+	models := nic.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			if _, err := m.Compile(intent, core.CompileOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE4_Datapath measures ns/packet of each host stack over simulated
+// mlx5 traffic (the §2 motivation comparison).
+func BenchmarkE4_Datapath(b *testing.B) {
+	tr := workload.MustGenerate(workload.DefaultSpec())
+	for _, it := range bench.E4Intents {
+		stacks, err := bench.NewStacks(it.Sems, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(it.Name+"/skbuff", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stacks.StepSkBuff(i)
+			}
+		})
+		b.Run(it.Name+"/mbuf", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stacks.StepMbuf(i)
+			}
+		})
+		b.Run(it.Name+"/xdp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stacks.StepXDP(i)
+			}
+		})
+		b.Run(it.Name+"/opendesc", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stacks.StepOpenDesc(i)
+			}
+		})
+		_ = stacks.Sink()
+	}
+}
+
+// BenchmarkE5_FootprintSelection times the Eq. 1 sweep across α values on
+// mlx5 (compressed vs full CQE crossover).
+func BenchmarkE5_FootprintSelection(b *testing.B) {
+	m := nic.MustLoad("mlx5")
+	intent := mustIntent(b, semantics.RSS, semantics.VLAN, semantics.IPChecksum, semantics.PktLen)
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.25, 1, 4, 16} {
+			if _, err := m.Compile(intent, core.CompileOptions{
+				Select: core.SelectOptions{Alpha: alpha},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE7_Accessor measures the synthesized constant-time accessors:
+// byte-aligned and unaligned hardware reads, and a software shim read.
+func BenchmarkE7_Accessor(b *testing.B) {
+	m := nic.MustLoad("ixgbe") // 13-bit ptype field exercises unaligned reads
+	intent := mustIntent(b, semantics.RSS, semantics.PType, semantics.KVKey)
+	res, err := m.Compile(intent, core.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := codegen.NewRuntime(res, softnic.Funcs())
+	tr := workload.MustGenerate(workload.Spec{Packets: 64, Flows: 8, PayloadBytes: 64, KVFraction: 1, Seed: 3})
+	samples, err := bench.CaptureSamples(m, res.Config, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	b.Run("aligned32", func(b *testing.B) {
+		r := rt.Reader(semantics.RSS)
+		for i := 0; i < b.N; i++ {
+			sink += r.Read(samples[i%len(samples)].Cmpt, nil)
+		}
+	})
+	b.Run("unaligned13", func(b *testing.B) {
+		r := rt.Reader(semantics.PType)
+		for i := 0; i < b.N; i++ {
+			sink += r.Read(samples[i%len(samples)].Cmpt, nil)
+		}
+	})
+	b.Run("software-shim", func(b *testing.B) {
+		r := rt.Reader(semantics.KVKey)
+		for i := 0; i < b.N; i++ {
+			s := &samples[i%len(samples)]
+			sink += r.Read(s.Cmpt, s.Packet)
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkE9_MbufDyn measures the dynfield indirection cost as enabled
+// offloads grow.
+func BenchmarkE9_MbufDyn(b *testing.B) {
+	tr := workload.MustGenerate(workload.DefaultSpec())
+	m := nic.MustLoad("mlx5")
+	paths, err := m.Paths()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var full *core.Path
+	for _, p := range paths {
+		if p.SizeBytes() == 64 {
+			full = p
+		}
+	}
+	samples, err := bench.CaptureSamples(m, full.Constraints, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dynOrder := []semantics.Name{
+		semantics.Timestamp, semantics.FlowID, semantics.Mark, semantics.LROSegs,
+		semantics.IPChecksum, semantics.L4Checksum, semantics.TunnelID, semantics.ErrorFlags,
+	}
+	var sink uint64
+	for _, k := range []int{0, 2, 4, 8} {
+		enabled := append([]semantics.Name{semantics.RSS, semantics.VLAN, semantics.PktLen}, dynOrder[:k]...)
+		drv := baseline.NewMbufDriver(full, enabled)
+		accs := make([]baseline.MbufAccessor, len(enabled))
+		for i, sem := range enabled {
+			accs[i] = drv.Accessor(sem)
+		}
+		b.Run(fmt.Sprintf("dynfields-%d", k), func(b *testing.B) {
+			var mb baseline.Mbuf
+			for i := 0; i < b.N; i++ {
+				s := &samples[i%len(samples)]
+				drv.Fill(&mb, s.Cmpt, len(s.Packet))
+				for _, acc := range accs {
+					v, _ := acc.Read(&mb)
+					sink += v
+				}
+			}
+		})
+	}
+	_ = sink
+}
+
+// BenchmarkE10_CompileTime times the full compiler pipeline per NIC,
+// including P4 parse and semantic analysis from source.
+func BenchmarkE10_CompileTime(b *testing.B) {
+	intent := mustIntent(b, semantics.RSS, semantics.VLAN, semantics.IPChecksum, semantics.PktLen)
+	for _, m := range nic.All() {
+		b.Run(m.Name+"/compile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Compile(intent, core.CompileOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(m.Name+"/frontend", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := parser.Parse(m.Name+".p4", m.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sema.Check(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorRx measures the simulated device's packet rate (CFG
+// interpretation + offload engines + completion DMA) per NIC.
+func BenchmarkSimulatorRx(b *testing.B) {
+	tr := workload.MustGenerate(workload.DefaultSpec())
+	for _, m := range nic.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			dev, err := nicsim.New(m, nicsim.Config{RingEntries: 2048})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(tr.TotalBytes() / len(tr.Packets)))
+			for i := 0; i < b.N; i++ {
+				if !dev.RxPacket(tr.Packets[i%len(tr.Packets)]) {
+					// Ring full: drain and continue.
+					for dev.CmptRing.Pop() {
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRingOps measures the descriptor-queue substrate.
+func BenchmarkRingOps(b *testing.B) {
+	b.Run("produce-consume-64B", func(b *testing.B) {
+		r := ring.MustNew(64, 1024)
+		rec := make([]byte, 64)
+		for i := 0; i < b.N; i++ {
+			if !r.Push(rec) {
+				r.Consume(func([]byte) {})
+				r.Push(rec)
+			} else if i%2 == 1 {
+				r.Consume(func([]byte) {})
+			}
+		}
+	})
+}
+
+// BenchmarkE11_Interfaces measures the three candidate driver-datapath
+// interface models (§5) for the two canonical applications. The timed unit
+// is one full deliver+poll round per packet (device and host side together);
+// the isolated host-side poll comparison is `descbench e11`, whose harness
+// re-delivers outside the timed region.
+func BenchmarkE11_Interfaces(b *testing.B) {
+	const packets = 256
+	ifaces, tr, err := bench.NewInterfaces(packets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, app := range bench.IfaceApps {
+		for _, ifc := range ifaces {
+			b.Run(app+"/"+ifc.Name(), func(b *testing.B) {
+				h, sink := bench.IfaceHandler(app)
+				for done := 0; done < b.N; {
+					if err := ifc.Deliver(tr); err != nil {
+						b.Fatal(err)
+					}
+					n := ifc.Poll(h)
+					if n != packets {
+						b.Fatalf("polled %d", n)
+					}
+					done += n
+				}
+				_ = sink
+			})
+		}
+	}
+}

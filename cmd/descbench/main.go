@@ -1,0 +1,72 @@
+// Command descbench regenerates the OpenDesc experiment tables (DESIGN.md
+// index E1–E10).
+//
+// Usage:
+//
+//	descbench            # run everything
+//	descbench e1 e3 e5   # selected experiments
+//	descbench -quick     # shorter timing runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"opendesc/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter measurement windows")
+	packets := flag.Int("packets", 512, "trace length for timing experiments")
+	flag.Parse()
+
+	minDur := 200 * time.Millisecond
+	if *quick {
+		minDur = 20 * time.Millisecond
+	}
+
+	type exp struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	experiments := []exp{
+		{"e1", bench.E1PathSelection},
+		{"e2", bench.E2MultiNIC},
+		{"e3", bench.E3Coverage},
+		{"e4", func() (*bench.Table, error) { return bench.E4Datapath(*packets, minDur) }},
+		{"e5", bench.E5FootprintSweep},
+		{"e6", bench.E6Unsatisfiable},
+		{"e8", bench.E8QDMAFormats},
+		{"e9", func() (*bench.Table, error) { return bench.E9MbufDyn(minDur) }},
+		{"e10", bench.E10CompileTime},
+		{"e11", func() (*bench.Table, error) { return bench.E11Interfaces(*packets, minDur) }},
+		{"e12", bench.E12CostModel},
+		{"e13", bench.E13Pruning},
+		{"e14", bench.E14OffloadPlan},
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "descbench %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e14)\n", flag.Args())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,191 @@
+// Command opendesc is the OpenDesc compiler driver: it maps an application's
+// metadata intent onto a NIC interface description, selects the optimal
+// completion path (Eq. 1), and emits a report plus generated accessors.
+//
+// Usage:
+//
+//	opendesc -list
+//	opendesc -nic e1000e -req rss,ip_checksum
+//	opendesc -nic mlx5 -intent app.p4 -backend go -o gen/
+//	opendesc -nic qdma -req kv_key,rss -backend ebpf
+//	opendesc -nic e1000e -req rss -backend dot > cfg.dot
+//
+// The -nic flag accepts a bundled model name (see -list) or a path to a .p4
+// interface description. The intent comes from -intent (a P4 file with a
+// @semantic-annotated header, paper Fig. 5) or -req (a comma-separated
+// semantic list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/p4/parser"
+	"opendesc/internal/p4/sema"
+	"opendesc/internal/semantics"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list bundled NIC models and exit")
+		nicArg     = flag.String("nic", "", "NIC model name or .p4 description file")
+		intentFile = flag.String("intent", "", "application intent .p4 file")
+		intentHdr  = flag.String("intent-header", "", "intent header name (default: the @semantic-annotated header)")
+		req        = flag.String("req", "", "comma-separated requested semantics (alternative to -intent)")
+		backend    = flag.String("backend", "report", "output backend: report, go, c, ebpf, dot")
+		outDir     = flag.String("o", "", "write generated files into this directory (default stdout)")
+		pkg        = flag.String("pkg", "opendescgen", "package name for the Go backend")
+		prefix     = flag.String("prefix", "opendesc", "symbol prefix for the C backend")
+		alpha      = flag.Float64("alpha", 0, "DMA footprint weight α (0 = default, negative = ignore footprint)")
+		noPrune    = flag.Bool("no-prune", false, "disable symbolic path pruning (debugging)")
+		plan       = flag.Bool("plan", false, "print the offload placement plan (software vs programmable pipeline)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range nic.All() {
+			paths, err := m.Paths()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %-22s %-12s %d completion paths — %s\n",
+				m.Name, m.Vendor, m.Kind, len(paths), m.Description)
+		}
+		return
+	}
+	if *nicArg == "" {
+		fatal(fmt.Errorf("missing -nic (try -list)"))
+	}
+
+	spec, nicName, err := loadNIC(*nicArg)
+	if err != nil {
+		fatal(err)
+	}
+	intent, err := loadIntent(*intentFile, *intentHdr, *req)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.CompileOptions{
+		Select:    core.SelectOptions{Alpha: *alpha},
+		Enumerate: core.EnumerateOptions{DisablePruning: *noPrune},
+	}
+	res, err := core.Compile(nicName, spec, intent, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *plan {
+		caps := core.PipelineCaps{}
+		if m, err := nic.Load(nicName); err == nil {
+			caps = m.Pipeline
+		}
+		p, err := core.PlanOffloads(res, caps, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p)
+		if prog := p.PipelineProgram(); prog != "" {
+			fmt.Println("\n// P4 pushed to the programmable pipeline:")
+			fmt.Print(prog)
+		}
+		return
+	}
+
+	switch *backend {
+	case "report":
+		emit(*outDir, "report.txt", res.Report())
+	case "go":
+		emit(*outDir, "accessors.go", codegen.GenGo(res, *pkg))
+	case "c":
+		emit(*outDir, "accessors.h", codegen.GenC(res, *prefix))
+	case "ebpf":
+		emit(*outDir, "accessors_bpf.c", codegen.GenEBPF(res))
+	case "dot":
+		emit(*outDir, "deparser.dot", res.Graph.DOT())
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+}
+
+func loadNIC(arg string) (core.DeparserSpec, string, error) {
+	if !strings.ContainsAny(arg, "./") {
+		m, err := nic.Load(arg)
+		if err != nil {
+			return core.DeparserSpec{}, "", err
+		}
+		return m.Deparser, m.Name, nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return core.DeparserSpec{}, "", err
+	}
+	prog, err := parser.Parse(arg, string(src))
+	if err != nil {
+		return core.DeparserSpec{}, "", err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return core.DeparserSpec{}, "", err
+	}
+	name := strings.TrimSuffix(filepath.Base(arg), ".p4")
+	return core.DeparserSpec{Info: info}, name, nil
+}
+
+func loadIntent(file, header, req string) (*core.Intent, error) {
+	switch {
+	case file != "" && req != "":
+		return nil, fmt.Errorf("-intent and -req are mutually exclusive")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := parser.Parse(file, string(src))
+		if err != nil {
+			return nil, err
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			return nil, err
+		}
+		return core.ParseIntent(info, header)
+	case req != "":
+		var names []semantics.Name
+		for _, s := range strings.Split(req, ",") {
+			s = strings.TrimSpace(s)
+			if s != "" {
+				names = append(names, semantics.Name(s))
+			}
+		}
+		return core.IntentFromSemantics("cli_intent", semantics.Default, names...)
+	default:
+		return nil, fmt.Errorf("missing intent: pass -intent app.p4 or -req rss,vlan,...")
+	}
+}
+
+func emit(dir, name, content string) {
+	if dir == "" {
+		fmt.Print(content)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "opendesc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opendesc/internal/semantics"
+)
+
+func TestLoadNICByName(t *testing.T) {
+	spec, name, err := loadNIC("e1000e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "e1000e" || spec.Info == nil {
+		t.Errorf("spec = %+v name = %q", spec, name)
+	}
+	if _, _, err := loadNIC("notanic"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestLoadNICFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.p4")
+	src := `
+struct ctx_t { bit<1> f; }
+header d_t { bit<8> x; }
+struct meta_t { @semantic("rss") bit<32> h; }
+@bind("CTX","ctx_t") @bind("DESC","d_t") @bind("META","meta_t")
+control CmptDeparser<CTX,DESC,META>(cmpt_out co, in CTX ctx, in DESC d, in META m) {
+    apply { co.emit(m.h); }
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, name, err := loadNIC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "custom" {
+		t.Errorf("name = %q", name)
+	}
+	if spec.Info.Prog.Control("CmptDeparser") == nil {
+		t.Error("control not parsed")
+	}
+	// Malformed file errors cleanly.
+	bad := filepath.Join(dir, "bad.p4")
+	os.WriteFile(bad, []byte("header {"), 0o644)
+	if _, _, err := loadNIC(bad); err == nil {
+		t.Error("malformed description should fail")
+	}
+	if _, _, err := loadNIC(filepath.Join(dir, "missing.p4")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadIntentFromReq(t *testing.T) {
+	it, err := loadIntent("", "", "rss, vlan ,ip_checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := it.Req()
+	for _, s := range []semantics.Name{semantics.RSS, semantics.VLAN, semantics.IPChecksum} {
+		if !req.Has(s) {
+			t.Errorf("missing %s", s)
+		}
+	}
+	if _, err := loadIntent("", "", "not_a_semantic"); err == nil {
+		t.Error("unknown semantic should fail")
+	}
+	if _, err := loadIntent("", "", ""); err == nil {
+		t.Error("empty intent should fail")
+	}
+}
+
+func TestLoadIntentFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "intent.p4")
+	src := `
+header intent_t {
+    @semantic("rss") bit<32> h;
+    @semantic("vlan") bit<16> v;
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	it, err := loadIntent(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Name != "intent_t" || len(it.Fields) != 2 {
+		t.Errorf("intent = %+v", it)
+	}
+	// Explicit header name selects, wrong name fails.
+	if _, err := loadIntent(path, "intent_t", ""); err != nil {
+		t.Errorf("named header: %v", err)
+	}
+	if _, err := loadIntent(path, "nope_t", ""); err == nil {
+		t.Error("wrong header name should fail")
+	}
+	// File and req together are rejected.
+	if _, err := loadIntent(path, "", "rss"); err == nil {
+		t.Error("-intent and -req must be mutually exclusive")
+	}
+}

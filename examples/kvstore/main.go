@@ -1,0 +1,90 @@
+// KV-store example — the paper's Figure 1 scenario: "an application that
+// wants to receive the checksum of a packet, the decapsulated vlan TCI, the
+// RSS hash and the result of a specific feature, for instance the key of a
+// key-value-store request". On a fully-programmable NIC (QDMA) the key
+// digest arrives precomputed in the completion; on fixed-function NICs the
+// compiler wires a SoftNIC shim instead — the application code is identical.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/workload"
+)
+
+// shard is a toy KV server shard keyed by the offloaded key digest.
+type shard struct {
+	hits map[uint64]int
+}
+
+func main() {
+	intent, err := core.IntentFromSemantics("fig1", semantics.Default,
+		semantics.IPChecksum, semantics.VLAN, semantics.RSS, semantics.KVKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memcached-style request traffic over 8 keys.
+	spec := workload.DefaultSpec()
+	spec.Packets = 400
+	spec.Flows = 8
+	spec.KVFraction = 1
+	spec.VLANFraction = 0
+	trace, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"qdma", "e1000e"} {
+		model := nic.MustLoad(name)
+		res, err := model.Compile(intent, core.CompileOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		dev, err := nicsim.New(model, nicsim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.ApplyConfig(res.Config); err != nil {
+			log.Fatal(err)
+		}
+		rt := codegen.NewRuntime(res, softnic.Funcs())
+
+		kvSrc := "software shim"
+		if rt.Reader(semantics.KVKey).Hardware {
+			kvSrc = "NIC completion"
+		}
+		fmt.Printf("=== %s: %dB completion, kv_key from %s, software set = %v ===\n",
+			name, res.CompletionBytes(), kvSrc, res.Missing())
+
+		sh := &shard{hits: make(map[uint64]int)}
+		for _, p := range trace.Packets {
+			if !dev.RxPacket(p) {
+				log.Fatal("rx stalled")
+			}
+			dev.CmptRing.Consume(func(cmpt []byte) {
+				key, err := rt.Read(semantics.KVKey, cmpt, p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sh.hits[key]++
+			})
+		}
+		fmt.Printf("  %d distinct keys over %d requests\n", len(sh.hits), len(trace.Packets))
+		if len(sh.hits) != spec.Flows {
+			log.Fatalf("expected %d keys, got %d — offloaded and software digests disagree",
+				spec.Flows, len(sh.hits))
+		}
+	}
+	fmt.Println("\nsame application logic ran unmodified on a programmable and a fixed NIC.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: the public OpenDesc API end to end — declare a metadata
+// intent, compile it for a NIC, open the generated driver datapath over the
+// simulated device, and read per-packet metadata.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opendesc"
+	"opendesc/internal/pkt"
+)
+
+// appIntent is the application's declarative metadata contract (paper
+// Fig. 5): a plain P4 header whose fields are tagged with @semantic.
+const appIntent = `
+header intent_t {
+    @semantic("rss")
+    bit<32> rss_val;
+    @semantic("vlan")
+    bit<16> vlan_tag;
+    @semantic("ip_checksum")
+    bit<16> csum;
+}
+`
+
+func main() {
+	// 1. Parse the intent (NewIntent would do the same without P4).
+	intent, err := opendesc.ParseIntentP4(appIntent, "intent_t")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Open a driver on the e1000e: the compiler picks between the NIC's
+	// two completion layouts — RSS hash or checksum, never both (paper
+	// Fig. 6) — configures the device, and links a SoftNIC shim for the
+	// loser.
+	drv, err := opendesc.OpenIntent("e1000e", intent, opendesc.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(drv.Report())
+
+	// 3. Receive a packet and read the metadata. The same three Get calls
+	// work on every NIC model; only the compiled layout changes.
+	packet := pkt.NewBuilder().
+		WithVLAN(0x0042).
+		WithIPv4([4]byte{192, 168, 0, 1}, [4]byte{10, 0, 0, 1}).
+		WithTCP(443, 55000, 0x18).
+		WithPayload([]byte("hello opendesc")).
+		Build()
+	if !drv.Rx(packet) {
+		log.Fatal("device dropped the packet")
+	}
+
+	fmt.Println("\nmetadata read through the generated driver datapath:")
+	drv.Poll(func(p []byte, meta opendesc.Meta) {
+		for _, sem := range []string{"rss", "vlan", "ip_checksum"} {
+			v, ok := meta.Get(sem)
+			if !ok {
+				log.Fatalf("%s unavailable", sem)
+			}
+			src := "hardware"
+			if !meta.Hardware(sem) {
+				src = "software shim"
+			}
+			fmt.Printf("  %-12s = %#010x  (%s)\n", sem, v, src)
+		}
+	})
+}

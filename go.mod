@@ -1,0 +1,3 @@
+module opendesc
+
+go 1.24

@@ -1,0 +1,420 @@
+// Package baseline re-implements the metadata-handling strategies of the
+// host stacks the paper contrasts OpenDesc against (§2):
+//
+//   - SkBuff: Linux-style eager full extraction — every descriptor field is
+//     copied into a large per-packet metadata structure whether the
+//     application reads it or not;
+//   - Mbuf: DPDK-style extraction into a fixed rte_mbuf area plus a
+//     flag-guarded dynamic-field indirection layer for offloads that no
+//     longer fit (the rte_mbuf_dyn mechanism the paper calls "a performance
+//     bottleneck");
+//   - XDP: the narrow xdp_buff model — pointer + length, with exactly three
+//     driver-defined kfunc accessors (hash, timestamp, VLAN); everything
+//     else must be recomputed in software;
+//   - OpenDesc (package codegen): direct fixed-offset reads generated from
+//     the declarative description, no intermediate copy.
+//
+// All baselines consume the same simulated completion records, so measured
+// differences are purely metadata-handling overhead.
+package baseline
+
+import (
+	"opendesc/internal/bitfield"
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/semantics"
+)
+
+// SkBuff mirrors the metadata-bearing portion of a Linux sk_buff: a wide
+// per-packet structure the driver populates eagerly from the descriptor.
+type SkBuff struct {
+	Len        uint32
+	DataLen    uint32
+	Hash       uint32
+	HashType   uint8
+	CsumLevel  uint8
+	CsumStatus uint16
+	VlanTCI    uint16
+	VlanProto  uint16
+	Timestamp  uint64
+	Mark       uint32
+	QueueID    uint16
+	PType      uint8
+	IPID       uint16
+	FlowID     uint32
+	TunnelID   uint32
+	LROSegs    uint8
+	ErrFlags   uint8
+	// cb mirrors the 48-byte control block Linux memsets per packet.
+	CB [48]byte
+	// Fields below model the pointer bookkeeping the kernel fills.
+	HeadOff, DataOff, TailOff uint32
+}
+
+// SkBuffDriver extracts every descriptor field into an SkBuff, like a kernel
+// driver's rx handler. layout is the completion path the NIC is configured
+// for.
+type SkBuffDriver struct {
+	fields []core.LayoutField
+}
+
+// NewSkBuffDriver builds the eager-extraction driver for a layout.
+func NewSkBuffDriver(p *core.Path) *SkBuffDriver {
+	var fs []core.LayoutField
+	for _, f := range p.Fields {
+		if f.Semantic != "" && f.WidthBits <= 64 {
+			fs = append(fs, f)
+		}
+	}
+	return &SkBuffDriver{fields: fs}
+}
+
+// Fill populates skb from a completion record, copying every available
+// field — the "heavyweight abstraction" cost.
+func (d *SkBuffDriver) Fill(skb *SkBuff, cmpt []byte, pktLen int) {
+	// Kernel behaviour: zero the control block and bookkeeping every packet.
+	skb.CB = [48]byte{}
+	skb.Len = uint32(pktLen)
+	skb.DataLen = uint32(pktLen)
+	skb.HeadOff, skb.DataOff, skb.TailOff = 0, 0, uint32(pktLen)
+	for _, f := range d.fields {
+		v := bitfield.Read(cmpt, f.OffsetBits, f.WidthBits)
+		switch f.Semantic {
+		case semantics.RSS:
+			skb.Hash = uint32(v)
+			skb.HashType = 1
+		case semantics.IPChecksum, semantics.L4Checksum:
+			skb.CsumStatus = uint16(v)
+			skb.CsumLevel++
+		case semantics.VLAN:
+			skb.VlanTCI = uint16(v)
+			skb.VlanProto = 0x8100
+		case semantics.Timestamp:
+			skb.Timestamp = v
+		case semantics.Mark:
+			skb.Mark = uint32(v)
+		case semantics.QueueID:
+			skb.QueueID = uint16(v)
+		case semantics.PType:
+			skb.PType = uint8(v)
+		case semantics.IPID:
+			skb.IPID = uint16(v)
+		case semantics.FlowID:
+			skb.FlowID = uint32(v)
+		case semantics.TunnelID:
+			skb.TunnelID = uint32(v)
+		case semantics.LROSegs:
+			skb.LROSegs = uint8(v)
+		case semantics.ErrorFlags:
+			skb.ErrFlags = uint8(v)
+		case semantics.PktLen:
+			skb.Len = uint32(v)
+		default:
+			// Unknown offloads cannot be represented: the sk_buff model
+			// drops them (the ossification the paper describes).
+		}
+	}
+}
+
+// Read returns a semantic from the filled SkBuff.
+func (skb *SkBuff) Read(s semantics.Name) (uint64, bool) {
+	switch s {
+	case semantics.RSS:
+		return uint64(skb.Hash), skb.HashType != 0
+	case semantics.VLAN:
+		return uint64(skb.VlanTCI), skb.VlanProto != 0
+	case semantics.Timestamp:
+		return skb.Timestamp, true
+	case semantics.Mark:
+		return uint64(skb.Mark), true
+	case semantics.QueueID:
+		return uint64(skb.QueueID), true
+	case semantics.PType:
+		return uint64(skb.PType), true
+	case semantics.IPID:
+		return uint64(skb.IPID), true
+	case semantics.FlowID:
+		return uint64(skb.FlowID), true
+	case semantics.TunnelID:
+		return uint64(skb.TunnelID), true
+	case semantics.LROSegs:
+		return uint64(skb.LROSegs), true
+	case semantics.ErrorFlags:
+		return uint64(skb.ErrFlags), true
+	case semantics.PktLen:
+		return uint64(skb.Len), true
+	case semantics.IPChecksum, semantics.L4Checksum:
+		return uint64(skb.CsumStatus), skb.CsumLevel > 0
+	}
+	return 0, false
+}
+
+// Mbuf mirrors DPDK's rte_mbuf: a fixed first-cacheline area for the common
+// offloads plus a dynamic-field array reached through per-offload registered
+// offsets (rte_mbuf_dyn).
+type Mbuf struct {
+	PktLen  uint32
+	DataLen uint32
+	OlFlags uint64
+	Hash    uint32
+	VlanTCI uint16
+	PType   uint32
+	// Dynfield is the 9x8-byte dynamic area of rte_mbuf.
+	Dynfield [9]uint64
+}
+
+// Offload flag bits, mirroring RTE_MBUF_F_RX_*.
+const (
+	FlagRSS uint64 = 1 << iota
+	FlagVLAN
+	FlagIPCsum
+	FlagL4Csum
+	FlagTimestamp
+	FlagFlowID
+	FlagTunnel
+	FlagMark
+	FlagLRO
+	FlagErr
+)
+
+// mbufSlot classifies where a semantic lands inside the mbuf.
+type mbufSlot int8
+
+const (
+	slotStatic  mbufSlot = -1 // first-cacheline member
+	slotDropped mbufSlot = -2 // no dynfield space left
+)
+
+// mbufFillOp is one precompiled extraction step: DPDK drivers compile this
+// fixed sequence into their RX burst function, so the per-packet cost is the
+// copy plus the flag update — not a table lookup.
+type mbufFillOp struct {
+	off, width int
+	sem        semantics.Name
+	slot       mbufSlot // slotStatic, slotDropped, or dynfield index ≥ 0
+	flag       uint64
+}
+
+// MbufDriver extracts descriptor fields into the mbuf. Common fields go to
+// the static area; everything else goes through the registered dynfield
+// table (one indirection per offload, guarded by a flag test — the paper's
+// "indirection layer that copies metadata based on numerous configuration
+// flags").
+type MbufDriver struct {
+	ops []mbufFillOp
+	// dynIndex records each semantic's registered slot so applications can
+	// resolve it once (rte_mbuf_dynfield_offset) via Accessor.
+	dynIndex map[semantics.Name]mbufSlot
+}
+
+// NewMbufDriver registers dynfields for every non-static semantic in the
+// layout and precompiles the extraction sequence. enabled restricts which
+// offloads are extracted (nil = all in the layout).
+func NewMbufDriver(p *core.Path, enabled []semantics.Name) *MbufDriver {
+	d := &MbufDriver{dynIndex: make(map[semantics.Name]mbufSlot)}
+	on := make(map[semantics.Name]bool)
+	if enabled == nil {
+		for _, f := range p.Fields {
+			if f.Semantic != "" {
+				on[f.Semantic] = true
+			}
+		}
+	} else {
+		for _, s := range enabled {
+			on[s] = true
+		}
+	}
+	next := mbufSlot(0)
+	for _, f := range p.Fields {
+		if f.Semantic == "" || f.WidthBits > 64 {
+			continue
+		}
+		var slot mbufSlot
+		switch f.Semantic {
+		case semantics.RSS, semantics.VLAN, semantics.PType, semantics.PktLen:
+			slot = slotStatic
+		default:
+			if int(next) < len(Mbuf{}.Dynfield) {
+				slot = next
+				next++
+			} else {
+				slot = slotDropped // the rte_mbuf growth problem
+			}
+		}
+		d.dynIndex[f.Semantic] = slot
+		if on[f.Semantic] && slot != slotDropped {
+			d.ops = append(d.ops, mbufFillOp{
+				off: f.OffsetBits, width: f.WidthBits,
+				sem: f.Semantic, slot: slot, flag: flagFor(f.Semantic),
+			})
+		}
+	}
+	return d
+}
+
+// flagFor maps semantics to their offload flag bit.
+func flagFor(s semantics.Name) uint64 {
+	switch s {
+	case semantics.RSS:
+		return FlagRSS
+	case semantics.VLAN:
+		return FlagVLAN
+	case semantics.IPChecksum:
+		return FlagIPCsum
+	case semantics.L4Checksum:
+		return FlagL4Csum
+	case semantics.Timestamp:
+		return FlagTimestamp
+	case semantics.FlowID:
+		return FlagFlowID
+	case semantics.TunnelID:
+		return FlagTunnel
+	case semantics.Mark:
+		return FlagMark
+	case semantics.LROSegs:
+		return FlagLRO
+	case semantics.ErrorFlags:
+		return FlagErr
+	}
+	return 0
+}
+
+// Fill extracts the enabled offloads from the completion into the mbuf,
+// running the precompiled op sequence.
+func (d *MbufDriver) Fill(mb *Mbuf, cmpt []byte, pktLen int) {
+	mb.OlFlags = 0
+	mb.PktLen = uint32(pktLen)
+	mb.DataLen = uint32(pktLen)
+	for i := range d.ops {
+		op := &d.ops[i]
+		v := bitfield.Read(cmpt, op.off, op.width)
+		if op.slot >= 0 {
+			mb.Dynfield[op.slot] = v
+			mb.OlFlags |= op.flag
+			continue
+		}
+		switch op.sem {
+		case semantics.RSS:
+			mb.Hash = uint32(v)
+			mb.OlFlags |= FlagRSS
+		case semantics.VLAN:
+			mb.VlanTCI = uint16(v)
+			mb.OlFlags |= FlagVLAN
+		case semantics.PType:
+			mb.PType = uint32(v)
+		case semantics.PktLen:
+			mb.PktLen = uint32(v)
+		}
+	}
+}
+
+// MbufAccessor is a resolved read handle, the analogue of an application
+// caching rte_mbuf_dynfield_offset() once at startup. Reads still pay the
+// flag test plus the dynfield indirection.
+type MbufAccessor struct {
+	sem  semantics.Name
+	slot mbufSlot
+	flag uint64
+	ok   bool
+}
+
+// Accessor resolves the read handle for a semantic.
+func (d *MbufDriver) Accessor(s semantics.Name) MbufAccessor {
+	slot, ok := d.dynIndex[s]
+	return MbufAccessor{sem: s, slot: slot, flag: flagFor(s), ok: ok && slot != slotDropped}
+}
+
+// Read returns the semantic from a filled mbuf.
+func (a MbufAccessor) Read(mb *Mbuf) (uint64, bool) {
+	if !a.ok {
+		return 0, false
+	}
+	if a.slot >= 0 {
+		if a.flag != 0 && mb.OlFlags&a.flag == 0 {
+			return 0, false
+		}
+		return mb.Dynfield[a.slot], true
+	}
+	switch a.sem {
+	case semantics.RSS:
+		if mb.OlFlags&FlagRSS == 0 {
+			return 0, false
+		}
+		return uint64(mb.Hash), true
+	case semantics.VLAN:
+		if mb.OlFlags&FlagVLAN == 0 {
+			return 0, false
+		}
+		return uint64(mb.VlanTCI), true
+	case semantics.PType:
+		return uint64(mb.PType), true
+	case semantics.PktLen:
+		return uint64(mb.PktLen), true
+	}
+	return 0, false
+}
+
+// Read resolves and reads in one call; hot paths should cache an Accessor.
+func (d *MbufDriver) Read(mb *Mbuf, s semantics.Name) (uint64, bool) {
+	return d.Accessor(s).Read(mb)
+}
+
+// XDPMeta is the xdp_buff view: data pointer + length, with the three
+// metadata kfuncs drivers implement today (rx_hash, rx_timestamp, rx_vlan).
+type XDPMeta struct {
+	driver *XDPDriver
+	cmpt   []byte
+	Len    int
+}
+
+// XDPDriver provides the per-driver kfunc implementations for the layout the
+// NIC is configured with. A kfunc exists only when the layout carries the
+// corresponding field — and only for the three semantics XDP standardizes.
+type XDPDriver struct {
+	hash, ts, vlan *core.LayoutField
+	soft           map[semantics.Name]codegen.SoftFunc
+}
+
+// XDPCoveredSemantics are the metadata hints XDP standardizes at the time of
+// writing ("XDP, therefore, proposes 3 accessors").
+var XDPCoveredSemantics = []semantics.Name{semantics.RSS, semantics.Timestamp, semantics.VLAN}
+
+// NewXDPDriver builds the 3-kfunc driver over a layout; soft supplies the
+// software fallbacks used when the field is absent or the semantic is not
+// covered by XDP at all.
+func NewXDPDriver(p *core.Path, soft map[semantics.Name]codegen.SoftFunc) *XDPDriver {
+	return &XDPDriver{
+		hash: p.Field(semantics.RSS),
+		ts:   p.Field(semantics.Timestamp),
+		vlan: p.Field(semantics.VLAN),
+		soft: soft,
+	}
+}
+
+// Wrap builds the xdp_buff view for one completion (no copies).
+func (d *XDPDriver) Wrap(cmpt []byte, pktLen int) XDPMeta {
+	return XDPMeta{driver: d, cmpt: cmpt, Len: pktLen}
+}
+
+// Read returns a semantic: via kfunc when covered and present, via software
+// recomputation otherwise (false return means not obtainable at all).
+func (m XDPMeta) Read(s semantics.Name, packet []byte) (uint64, bool) {
+	var f *core.LayoutField
+	switch s {
+	case semantics.RSS:
+		f = m.driver.hash
+	case semantics.Timestamp:
+		f = m.driver.ts
+	case semantics.VLAN:
+		f = m.driver.vlan
+	case semantics.PktLen:
+		return uint64(m.Len), true
+	}
+	if f != nil {
+		return bitfield.Read(m.cmpt, f.OffsetBits, f.WidthBits), true
+	}
+	if sf := m.driver.soft[s]; sf != nil {
+		return sf(packet), true
+	}
+	return 0, false
+}

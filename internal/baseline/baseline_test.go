@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"testing"
+
+	"opendesc/internal/bitfield"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+)
+
+// fullCQE returns the mlx5 64-byte path and a completion record with
+// recognizable values written into every semantic field.
+func fullCQE(t *testing.T) (*core.Path, []byte, map[semantics.Name]uint64) {
+	t.Helper()
+	paths, err := nic.MustLoad("mlx5").Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full *core.Path
+	for _, p := range paths {
+		if p.SizeBytes() == 64 {
+			full = p
+		}
+	}
+	if full == nil {
+		t.Fatal("no full CQE path")
+	}
+	cmpt := make([]byte, 64)
+	vals := map[semantics.Name]uint64{}
+	seed := uint64(0x1234)
+	for _, f := range full.Fields {
+		if f.Semantic == "" || f.WidthBits > 64 {
+			continue
+		}
+		v := seed
+		if f.WidthBits < 64 {
+			v &= (1 << f.WidthBits) - 1
+		}
+		bitfield.Write(cmpt, f.OffsetBits, f.WidthBits, v)
+		vals[f.Semantic] = v
+		seed = seed*2654435761 + 12345
+	}
+	return full, cmpt, vals
+}
+
+func TestSkBuffFillExtractsEverything(t *testing.T) {
+	full, cmpt, vals := fullCQE(t)
+	drv := NewSkBuffDriver(full)
+	var skb SkBuff
+	drv.Fill(&skb, cmpt, 1500)
+	for _, s := range []semantics.Name{
+		semantics.RSS, semantics.VLAN, semantics.Timestamp, semantics.Mark,
+		semantics.FlowID, semantics.LROSegs, semantics.ErrorFlags,
+	} {
+		got, ok := skb.Read(s)
+		if !ok {
+			t.Errorf("%s not readable from sk_buff", s)
+			continue
+		}
+		if got != vals[s] {
+			t.Errorf("%s = %#x, want %#x", s, got, vals[s])
+		}
+	}
+}
+
+func TestSkBuffClearsControlBlock(t *testing.T) {
+	full, cmpt, _ := fullCQE(t)
+	drv := NewSkBuffDriver(full)
+	var skb SkBuff
+	skb.CB[0] = 0xFF
+	drv.Fill(&skb, cmpt, 100)
+	if skb.CB[0] != 0 {
+		t.Error("control block not cleared per packet")
+	}
+	if skb.Len != uint64AsU32(getPktLenFrom(full, cmpt)) {
+		// pkt_len field in the CQE overrides the wire length argument.
+		t.Errorf("skb.Len = %d", skb.Len)
+	}
+}
+
+func uint64AsU32(v uint64) uint32 { return uint32(v) }
+
+func getPktLenFrom(p *core.Path, cmpt []byte) uint64 {
+	f := p.Field(semantics.PktLen)
+	return bitfield.Read(cmpt, f.OffsetBits, f.WidthBits)
+}
+
+func TestMbufStaticVsDynfield(t *testing.T) {
+	full, cmpt, vals := fullCQE(t)
+	drv := NewMbufDriver(full, nil)
+	var mb Mbuf
+	drv.Fill(&mb, cmpt, 1500)
+	// Static fields.
+	if got, ok := drv.Read(&mb, semantics.RSS); !ok || got != vals[semantics.RSS] {
+		t.Errorf("rss = %#x/%v, want %#x", got, ok, vals[semantics.RSS])
+	}
+	if got, ok := drv.Read(&mb, semantics.VLAN); !ok || got != vals[semantics.VLAN] {
+		t.Errorf("vlan = %#x/%v", got, ok)
+	}
+	// Dynfield-mediated offloads.
+	for _, s := range []semantics.Name{semantics.Timestamp, semantics.FlowID, semantics.Mark} {
+		if got, ok := drv.Read(&mb, s); !ok || got != vals[s] {
+			t.Errorf("%s via dynfield = %#x/%v, want %#x", s, got, ok, vals[s])
+		}
+	}
+}
+
+func TestMbufDisabledOffloadSkipped(t *testing.T) {
+	full, cmpt, _ := fullCQE(t)
+	drv := NewMbufDriver(full, []semantics.Name{semantics.RSS}) // only RSS enabled
+	var mb Mbuf
+	drv.Fill(&mb, cmpt, 100)
+	if _, ok := drv.Read(&mb, semantics.Timestamp); ok {
+		t.Error("disabled offload readable")
+	}
+	if _, ok := drv.Read(&mb, semantics.RSS); !ok {
+		t.Error("enabled offload unreadable")
+	}
+}
+
+func TestMbufFlagGating(t *testing.T) {
+	full, _, _ := fullCQE(t)
+	drv := NewMbufDriver(full, nil)
+	var mb Mbuf // never filled: flags are zero
+	if _, ok := drv.Read(&mb, semantics.RSS); ok {
+		t.Error("unset flag should gate the read")
+	}
+	if _, ok := drv.Read(&mb, semantics.Timestamp); ok {
+		t.Error("unset dynfield flag should gate the read")
+	}
+}
+
+func TestXDPThreeKfuncs(t *testing.T) {
+	full, cmpt, vals := fullCQE(t)
+	drv := NewXDPDriver(full, softnic.Funcs())
+	meta := drv.Wrap(cmpt, 1500)
+	for _, s := range XDPCoveredSemantics {
+		got, ok := meta.Read(s, nil)
+		if !ok || got != vals[s] {
+			t.Errorf("kfunc %s = %#x/%v, want %#x", s, got, ok, vals[s])
+		}
+	}
+	if v, ok := meta.Read(semantics.PktLen, nil); !ok || v != 1500 {
+		t.Errorf("pkt_len = %d/%v", v, ok)
+	}
+}
+
+func TestXDPFallsBackToSoftware(t *testing.T) {
+	full, cmpt, vals := fullCQE(t)
+	drv := NewXDPDriver(full, softnic.Funcs())
+	meta := drv.Wrap(cmpt, 64)
+	// ip_checksum is in the CQE but XDP has no accessor for it: must be
+	// recomputed from the packet, not read from the descriptor.
+	packet := buildTestPacket()
+	got, ok := meta.Read(semantics.IPChecksum, packet)
+	if !ok {
+		t.Fatal("software fallback missing")
+	}
+	if got == vals[semantics.IPChecksum] {
+		t.Error("value suspiciously equals the descriptor content (not recomputed?)")
+	}
+	// Semantics with neither kfunc nor software implementation fail.
+	if _, ok := meta.Read(semantics.Mark, packet); ok {
+		t.Error("mark has no kfunc and no software fallback; read must fail")
+	}
+}
+
+func TestXDPMissingFieldUsesSoftware(t *testing.T) {
+	// On the mlx5 compressed CQE there is no timestamp field: the kfunc is
+	// absent and Read must fail (timestamp cannot be recomputed).
+	paths, _ := nic.MustLoad("mlx5").Paths()
+	var comp *core.Path
+	for _, p := range paths {
+		if p.SizeBytes() == 16 {
+			comp = p
+		}
+	}
+	drv := NewXDPDriver(comp, softnic.Funcs())
+	meta := drv.Wrap(make([]byte, 16), 64)
+	if _, ok := meta.Read(semantics.Timestamp, buildTestPacket()); ok {
+		t.Error("timestamp must be unobtainable on the compressed CQE")
+	}
+	// But the hash kfunc still works.
+	if _, ok := meta.Read(semantics.RSS, nil); !ok {
+		t.Error("rss kfunc missing on compressed CQE")
+	}
+}
+
+func buildTestPacket() []byte {
+	// Minimal Ethernet+IPv4+UDP frame via the pkt builder would create an
+	// import cycle here; hand-roll a 60-byte frame instead.
+	p := make([]byte, 60)
+	p[12], p[13] = 0x08, 0x00 // IPv4
+	p[14] = 0x45
+	p[17] = 46 // total length
+	p[22] = 64 // ttl
+	p[23] = 17 // udp
+	return p
+}

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"opendesc/internal/semantics"
+)
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	tab, err := E1PathSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the {rss, ip_checksum} row: the selected branch must be csum and
+	// the software column must be rss.
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "rss+ip_checksum" {
+			found = true
+			if !strings.Contains(r[1], "csum") {
+				t.Errorf("Fig. 6 row selected %q, want csum branch", r[1])
+			}
+			if r[3] != "rss" {
+				t.Errorf("software column = %q, want rss", r[3])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("rss+ip_checksum row missing:\n%s", tab)
+	}
+}
+
+func TestE2CoversAllNICs(t *testing.T) {
+	tab, err := E2MultiNIC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	intents := len(standardIntents())
+	if len(tab.Rows) != intents*6 {
+		t.Errorf("rows = %d, want %d", len(tab.Rows), intents*6)
+	}
+	// The telemetry intent (timestamp) must be unsat on all fixed Intel NICs
+	// and satisfiable on mlx5/qdma.
+	unsat := map[string]bool{}
+	for _, r := range tab.Rows {
+		if r[0] == "telemetry" && r[len(r)-1] == "unsat" {
+			unsat[r[1]] = true
+		}
+	}
+	for _, n := range []string{"e1000", "e1000e", "ixgbe"} {
+		if !unsat[n] {
+			t.Errorf("telemetry should be unsat on %s", n)
+		}
+	}
+	for _, n := range []string{"ice", "mlx5", "qdma"} {
+		if unsat[n] {
+			t.Errorf("telemetry should compile on %s", n)
+		}
+	}
+}
+
+func TestE3XDPThreeOfTwelve(t *testing.T) {
+	tab, err := E3Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[0] == "mlx5" {
+			if r[1] != "12" {
+				t.Errorf("mlx5 providable = %s, want 12", r[1])
+			}
+			if r[2] != "3/12" {
+				t.Errorf("mlx5 xdp coverage = %s, want 3/12 (the paper's claim)", r[2])
+			}
+			if r[5] != "12/12" {
+				t.Errorf("mlx5 opendesc coverage = %s, want 12/12", r[5])
+			}
+			return
+		}
+	}
+	t.Fatal("mlx5 row missing")
+}
+
+func TestE5CrossoverExists(t *testing.T) {
+	// With a small request, raising α (DMA weight) must eventually pull the
+	// selection toward a smaller completion, or the small format is already
+	// optimal at low α and a crossover in the other direction shows up in
+	// the sweep. Pin that the sweep spans at least two distinct sizes.
+	tab, err := E5FootprintSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]bool{}
+	for _, r := range tab.Rows {
+		sizes[r[2]] = true
+	}
+	if len(sizes) < 2 {
+		t.Errorf("footprint sweep selected a single size only:\n%s", tab)
+	}
+}
+
+func TestCrossoverAlphaRichRequest(t *testing.T) {
+	// A rich request sits on the full CQE at low α and must cross to a
+	// smaller format as DMA gets expensive.
+	alpha, from, to, err := CrossoverAlpha([]semantics.Name{
+		semantics.RSS, semantics.VLAN, semantics.IPChecksum, semantics.PktLen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(alpha, 1) {
+		t.Fatalf("no crossover found (stuck at %dB)", from)
+	}
+	if !(from > to) {
+		t.Errorf("crossover %dB → %dB at α=%.2f; expected shrink as α grows", from, to, alpha)
+	}
+}
+
+func TestE6RejectsTimestampEverywhere(t *testing.T) {
+	tab, err := E6Unsatisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[0] == "timestamp" {
+			switch r[1] {
+			case "e1000", "e1000e", "ixgbe":
+				if !strings.HasPrefix(r[2], "rejected") {
+					t.Errorf("%s should reject timestamp: %q", r[1], r[2])
+				}
+			case "mlx5", "qdma":
+				if !strings.HasPrefix(r[2], "ok") {
+					t.Errorf("%s should accept timestamp: %q", r[1], r[2])
+				}
+			}
+		}
+	}
+}
+
+func TestE8SmallestFormatWins(t *testing.T) {
+	tab, err := E8QDMAFormats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIntent := map[string]string{}
+	for _, r := range tab.Rows {
+		byIntent[r[0]] = r[1]
+	}
+	if byIntent["basic"] != "8" {
+		t.Errorf("basic intent → %sB, want the 8B format", byIntent["basic"])
+	}
+	if byIntent["kv-store"] != "16" {
+		t.Errorf("kv-store intent → %sB, want the 16B format", byIntent["kv-store"])
+	}
+	if byIntent["telemetry"] != "32" {
+		t.Errorf("telemetry intent → %sB, want the 32B format", byIntent["telemetry"])
+	}
+}
+
+func TestE4ShapeOpenDescWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := E4Datapath(256, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(E4Intents) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Shape assertions, robust to machine speed: on every intent OpenDesc
+	// must beat the sk_buff eager-extraction baseline; and on the fw intent
+	// (checksums outside XDP's 3 hints) XDP must be the slowest by far.
+	idx := map[string]int{}
+	for i, h := range tab.Header {
+		idx[h] = i
+	}
+	parse := func(s string) float64 {
+		var f float64
+		if _, err := fmtSscan(s, &f); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return f
+	}
+	for _, r := range tab.Rows {
+		sk := parse(r[idx["skbuff"]])
+		od := parse(r[idx["opendesc"]])
+		if od >= sk {
+			t.Errorf("intent %s: opendesc %.1f ns !< skbuff %.1f ns", r[0], od, sk)
+		}
+		if r[0] == "fw" {
+			xdp := parse(r[idx["xdp"]])
+			if xdp < 2*od {
+				t.Errorf("fw: xdp %.1f ns should collapse vs opendesc %.1f ns", xdp, od)
+			}
+		}
+	}
+}
+
+func TestE9MonotoneCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := E9MbufDyn(5 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mbuf cost with 8 dynfields must exceed cost with 0 (indirection grows).
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	var f0, fN float64
+	fmtSscan(first[1], &f0)
+	fmtSscan(last[1], &fN)
+	if fN <= f0 {
+		t.Errorf("mbuf cost should grow with dynfields: %0.1f → %0.1f", f0, fN)
+	}
+}
+
+func TestE10Runs(t *testing.T) {
+	tab, err := E10CompileTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "T", Title: "test", Header: []string{"a", "bb"}}
+	tab.AddRow("x", 1.25)
+	s := tab.String()
+	if !strings.Contains(s, "== T: test ==") || !strings.Contains(s, "1.2") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+// fmtSscan parses a float cell from a rendered table row.
+func fmtSscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
+
+func TestE11InterfaceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := E11Interfaces(256, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := map[[2]string]float64{}
+	for _, r := range tab.Rows {
+		var f float64
+		fmtSscan(r[3], &f)
+		ns[[2]string{r[0], r[1]}] = f
+	}
+	// Raw payload: descriptor-less streaming must beat the per-packet ring
+	// (the ENSO-shaped win).
+	if !(ns[[2]string{"payload-touch", "streamed"}] < ns[[2]string{"payload-touch", "ringed"}]) {
+		t.Errorf("payload-touch: streamed %.1f !< ringed %.1f",
+			ns[[2]string{"payload-touch", "streamed"}], ns[[2]string{"payload-touch", "ringed"}])
+	}
+	// Metadata-needing app: streaming must collapse (software hash recompute)
+	// versus both descriptor-bearing models.
+	if !(ns[[2]string{"hash-lb", "streamed"}] > 2*ns[[2]string{"hash-lb", "ringed"}]) {
+		t.Errorf("hash-lb: streamed %.1f should collapse vs ringed %.1f",
+			ns[[2]string{"hash-lb", "streamed"}], ns[[2]string{"hash-lb", "ringed"}])
+	}
+}
+
+func TestE12CostModelRuns(t *testing.T) {
+	tab, err := E12CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The calibrated-rss column must hold a positive finite measurement.
+	var wc float64
+	fmtSscan(tab.Rows[0][5], &wc)
+	if wc <= 0 {
+		t.Errorf("calibrated rss cost = %v", wc)
+	}
+}
+
+func TestE13PruningShape(t *testing.T) {
+	tab, err := E13Pruning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string][2]string{}
+	for _, r := range tab.Rows {
+		counts[r[0]] = [2]string{r[1], r[2]}
+	}
+	// Bundled NICs: pruning changes nothing (independent branches).
+	for _, n := range []string{"e1000", "e1000e", "ixgbe", "mlx5", "qdma"} {
+		c := counts[n]
+		if c[0] != c[1] {
+			t.Errorf("%s: pruned %s != unpruned %s (branches are independent)", n, c[0], c[1])
+		}
+	}
+	// Correlated synthetic: 4^n unpruned vs 2^n feasible.
+	if c := counts["synthetic-4-correlated"]; c[0] != "16" || c[1] != "256" {
+		t.Errorf("synthetic-4: %v, want 16/256", c)
+	}
+	if c := counts["synthetic-6-correlated"]; c[0] != "64" || c[1] != "4096" {
+		t.Errorf("synthetic-6: %v, want 64/4096", c)
+	}
+}
+
+func TestE14OffloadPlanShape(t *testing.T) {
+	tab, err := E14OffloadPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		switch {
+		case r[0] == "e1000" || r[0] == "e1000e":
+			if r[3] != "" {
+				t.Errorf("%s pushed %q to a fixed-function pipeline", r[0], r[3])
+			}
+		case r[0] == "mlx5" && strings.Contains(r[1], "flow_id"):
+			// Whichever of rss/flow_id misses the selected mini CQE must be
+			// pushed to the pipeline, leaving no software residue.
+			if r[3] == "" || r[4] != "" {
+				t.Errorf("mlx5 should push the missing feature, got pipeline=%q software=%q", r[3], r[4])
+			}
+		case r[0] == "mlx5" && strings.Contains(r[1], "kv_key"):
+			if strings.Contains(r[3], "kv_key") {
+				t.Error("mlx5 (no payload externs) must not push kv_key")
+			}
+		}
+	}
+}

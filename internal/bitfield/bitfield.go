@@ -1,0 +1,90 @@
+// Package bitfield reads and writes arbitrarily aligned bit slices inside
+// byte buffers, using P4 header serialization order: bit 0 is the most
+// significant bit of byte 0, and multi-bit fields are big-endian. Descriptor
+// layouts produced by the OpenDesc compiler are addressed this way, and the
+// NIC simulator serializes completions with the same routines the generated
+// accessors use to read them.
+package bitfield
+
+import "fmt"
+
+// Read extracts width bits starting at bit offset off. Width must be 1..64
+// and the slice [off, off+width) must lie inside b; violations panic, as they
+// indicate a compiler-generated layout inconsistent with the buffer.
+func Read(b []byte, off, width int) uint64 {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("bitfield: width %d out of range", width))
+	}
+	if off < 0 || off+width > len(b)*8 {
+		panic(fmt.Sprintf("bitfield: read [%d,%d) outside %d-byte buffer", off, off+width, len(b)))
+	}
+	var v uint64
+	remaining := width
+	byteIdx := off / 8
+	bitIdx := off % 8 // from MSB
+	for remaining > 0 {
+		avail := 8 - bitIdx
+		take := avail
+		if take > remaining {
+			take = remaining
+		}
+		chunk := (uint64(b[byteIdx]) >> (avail - take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		remaining -= take
+		byteIdx++
+		bitIdx = 0
+	}
+	return v
+}
+
+// Write stores the low width bits of v starting at bit offset off.
+func Write(b []byte, off, width int, v uint64) {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("bitfield: width %d out of range", width))
+	}
+	if off < 0 || off+width > len(b)*8 {
+		panic(fmt.Sprintf("bitfield: write [%d,%d) outside %d-byte buffer", off, off+width, len(b)))
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	remaining := width
+	byteIdx := off / 8
+	bitIdx := off % 8
+	for remaining > 0 {
+		avail := 8 - bitIdx
+		take := avail
+		if take > remaining {
+			take = remaining
+		}
+		shift := remaining - take
+		chunk := byte((v >> shift) & ((1 << take) - 1))
+		mask := byte(((1 << take) - 1) << (avail - take))
+		b[byteIdx] = b[byteIdx]&^mask | chunk<<(avail-take)
+		remaining -= take
+		byteIdx++
+		bitIdx = 0
+	}
+}
+
+// ReadAligned is a fast path for byte-aligned fields of 8/16/32/64 bits; it
+// falls back to Read otherwise. Generated accessors use this to get
+// constant-time single-load reads for the common case.
+func ReadAligned(b []byte, off, width int) uint64 {
+	if off%8 != 0 {
+		return Read(b, off, width)
+	}
+	i := off / 8
+	switch width {
+	case 8:
+		return uint64(b[i])
+	case 16:
+		return uint64(b[i])<<8 | uint64(b[i+1])
+	case 32:
+		return uint64(b[i])<<24 | uint64(b[i+1])<<16 | uint64(b[i+2])<<8 | uint64(b[i+3])
+	case 64:
+		return uint64(b[i])<<56 | uint64(b[i+1])<<48 | uint64(b[i+2])<<40 | uint64(b[i+3])<<32 |
+			uint64(b[i+4])<<24 | uint64(b[i+5])<<16 | uint64(b[i+6])<<8 | uint64(b[i+7])
+	}
+	return Read(b, off, width)
+}

@@ -1,0 +1,95 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"opendesc/internal/core"
+)
+
+func cWidthType(w int) string {
+	switch {
+	case w <= 8:
+		return "uint8_t"
+	case w <= 16:
+		return "uint16_t"
+	case w <= 32:
+		return "uint32_t"
+	default:
+		return "uint64_t"
+	}
+}
+
+// GenC renders a C header with static-inline constant-time accessors, for
+// applications that map the NIC completion ring directly (the paper's
+// "userlevel programs directly accessing the NIC descriptors").
+func GenC(res *core.Result, prefix string) string {
+	guard := strings.ToUpper(prefix) + "_OPENDESC_H"
+	var sb strings.Builder
+	sb.WriteString(banner(res, "//"))
+	fmt.Fprintf(&sb, "#ifndef %s\n#define %s\n\n#include <stdint.h>\n\n", guard, guard)
+	fmt.Fprintf(&sb, "#define %s_CMPT_BYTES %d\n\n", strings.ToUpper(prefix), res.CompletionBytes())
+
+	for _, c := range res.Config {
+		macro := strings.ToUpper(prefix) + "_CFG_" + strings.ToUpper(strings.ReplaceAll(strings.ReplaceAll(c.Var, ".", "_"), "-", "_"))
+		op := ""
+		if !c.Equal {
+			op = "_NOT"
+		}
+		fmt.Fprintf(&sb, "#define %s%s %s /* context configuration */\n", macro, op, c.Val)
+	}
+	if len(res.Config) > 0 {
+		sb.WriteString("\n")
+	}
+
+	for _, a := range res.Accessors {
+		name := fmt.Sprintf("%s_get_%s", prefix, a.Semantic)
+		if !a.Hardware {
+			fmt.Fprintf(&sb, "/* %q is not provided by the selected layout: provide a software\n * implementation (modelled cost %.1f). */\n", a.Semantic, a.SoftCost)
+			fmt.Fprintf(&sb, "extern %s %s_soft(const uint8_t *pkt, uint32_t len);\n\n", cWidthType(a.WidthBits), name)
+			continue
+		}
+		fmt.Fprintf(&sb, "/* bits [%d:%d) of the completion record (%s) */\n",
+			a.OffsetBits, a.OffsetBits+a.WidthBits, a.FieldName)
+		fmt.Fprintf(&sb, "static inline %s %s(const uint8_t *cmpt) {\n", cWidthType(a.WidthBits), name)
+		sb.WriteString(genCRead(a.OffsetBits, a.WidthBits))
+		sb.WriteString("}\n\n")
+	}
+	fmt.Fprintf(&sb, "#endif /* %s */\n", guard)
+	return sb.String()
+}
+
+func genCRead(off, w int) string {
+	var sb strings.Builder
+	typ := cWidthType(w)
+	if off%8 == 0 && (w == 8 || w == 16 || w == 32 || w == 64) {
+		i := off / 8
+		switch w {
+		case 8:
+			fmt.Fprintf(&sb, "\treturn cmpt[%d];\n", i)
+		default:
+			fmt.Fprintf(&sb, "\t%s v = 0;\n", typ)
+			for k := 0; k < w/8; k++ {
+				fmt.Fprintf(&sb, "\tv = (%s)(v << 8) | cmpt[%d];\n", typ, i+k)
+			}
+			sb.WriteString("\treturn v;\n")
+		}
+		return sb.String()
+	}
+	firstByte := off / 8
+	lastBit := off + w
+	lastByte := (lastBit + 7) / 8
+	sb.WriteString("\tuint64_t v = 0;\n")
+	for i := firstByte; i < lastByte; i++ {
+		fmt.Fprintf(&sb, "\tv = v << 8 | cmpt[%d];\n", i)
+	}
+	if tail := lastByte*8 - lastBit; tail > 0 {
+		fmt.Fprintf(&sb, "\tv >>= %d;\n", tail)
+	}
+	if w < 64 {
+		fmt.Fprintf(&sb, "\treturn (%s)(v & %#xULL);\n", typ, uint64(1)<<w-1)
+	} else {
+		fmt.Fprintf(&sb, "\treturn (%s)v;\n", typ)
+	}
+	return sb.String()
+}

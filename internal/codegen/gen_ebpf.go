@@ -1,0 +1,78 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"opendesc/internal/core"
+)
+
+// GenEBPF renders an eBPF/XDP C source exposing the compiled accessors to an
+// XDP program. Following the paper's prototype, the completion record is
+// made available through the xdp_md metadata area (bpf_xdp_adjust_meta);
+// every read is preceded by the verifier-mandated bounds check so access to
+// the descriptor "can be bounded and therefore read safely from an eBPF
+// program".
+func GenEBPF(res *core.Result) string {
+	var sb strings.Builder
+	sb.WriteString(banner(res, "//"))
+	sb.WriteString(`
+#include <linux/bpf.h>
+#include <bpf/bpf_helpers.h>
+
+`)
+	fmt.Fprintf(&sb, "#define OPENDESC_CMPT_BYTES %d\n\n", res.CompletionBytes())
+	sb.WriteString(`/* The driver prepends the raw completion record to the packet metadata
+ * area. opendesc_cmpt() recovers and bounds it for the verifier. */
+static __always_inline const __u8 *opendesc_cmpt(const struct xdp_md *ctx)
+{
+	const __u8 *meta = (const __u8 *)(long)ctx->data_meta;
+	const __u8 *data = (const __u8 *)(long)ctx->data;
+
+	if (meta + OPENDESC_CMPT_BYTES > data)
+		return 0; /* metadata absent or truncated */
+	return meta;
+}
+
+`)
+	for _, a := range res.Accessors {
+		name := "opendesc_get_" + string(a.Semantic)
+		if !a.Hardware {
+			fmt.Fprintf(&sb, "/* %q is not in the selected completion layout. The OpenDesc runtime\n", a.Semantic)
+			fmt.Fprintf(&sb, " * links a software implementation instead (modelled cost %.1f). */\n", a.SoftCost)
+			fmt.Fprintf(&sb, "extern %s %s_soft(const struct xdp_md *ctx);\n\n", bpfWidthType(a.WidthBits), name)
+			continue
+		}
+		fmt.Fprintf(&sb, "/* bits [%d:%d) of the completion record (%s) */\n",
+			a.OffsetBits, a.OffsetBits+a.WidthBits, a.FieldName)
+		fmt.Fprintf(&sb, "static __always_inline int %s(const struct xdp_md *ctx, %s *out)\n{\n",
+			name, bpfWidthType(a.WidthBits))
+		sb.WriteString("\tconst __u8 *cmpt = opendesc_cmpt(ctx);\n\n\tif (!cmpt)\n\t\treturn -1;\n")
+		body := genCRead(a.OffsetBits, a.WidthBits)
+		body = strings.ReplaceAll(body, "return ", "*out = ")
+		// genCRead ends each flavour with a return; convert to assignment +
+		// success code.
+		body = strings.ReplaceAll(body, "uint64_t", "__u64")
+		body = strings.ReplaceAll(body, "uint32_t", "__u32")
+		body = strings.ReplaceAll(body, "uint16_t", "__u16")
+		body = strings.ReplaceAll(body, "uint8_t", "__u8")
+		sb.WriteString(body)
+		sb.WriteString("\treturn 0;\n}\n\n")
+	}
+	sb.WriteString(`char _license[] SEC("license") = "GPL";
+`)
+	return sb.String()
+}
+
+func bpfWidthType(w int) string {
+	switch {
+	case w <= 8:
+		return "__u8"
+	case w <= 16:
+		return "__u16"
+	case w <= 32:
+		return "__u32"
+	default:
+		return "__u64"
+	}
+}

@@ -1,0 +1,112 @@
+// Package codegen synthesizes host-side accessors from an OpenDesc
+// compilation result in three forms:
+//
+//   - an executable Runtime of constant-time Go closures (what the simulator
+//     datapath and the benchmarks actually run),
+//   - Go source (a standalone accessor package),
+//   - C and eBPF/XDP C source, mirroring the paper's prototype which exposes
+//     descriptor metadata to eBPF programs through bounded descriptor reads.
+package codegen
+
+import (
+	"fmt"
+
+	"opendesc/internal/bitfield"
+	"opendesc/internal/core"
+	"opendesc/internal/semantics"
+)
+
+// SoftFunc computes a semantic in software from the raw packet bytes
+// (a SoftNIC shim body).
+type SoftFunc func(packet []byte) uint64
+
+// Reader is a compiled constant-time accessor over a completion record.
+type Reader struct {
+	Semantic   semantics.Name
+	Hardware   bool
+	OffsetBits int
+	WidthBits  int
+	// read is non-nil for hardware accessors.
+	read func(desc []byte) uint64
+	// soft is non-nil for software shims.
+	soft SoftFunc
+}
+
+// Read returns the metadata value: a direct bit-slice load for hardware
+// accessors, the software shim otherwise.
+func (r *Reader) Read(desc, packet []byte) uint64 {
+	if r.Hardware {
+		return r.read(desc)
+	}
+	if r.soft == nil {
+		panic(fmt.Sprintf("codegen: software shim for %q not linked", r.Semantic))
+	}
+	return r.soft(packet)
+}
+
+// Runtime is the executable accessor table for one compilation result.
+type Runtime struct {
+	Result  *core.Result
+	Readers []*Reader
+	byName  map[semantics.Name]*Reader
+	// CompletionBytes is the size of the completion record the NIC will DMA
+	// under the selected configuration.
+	CompletionBytes int
+}
+
+// NewRuntime builds the executable accessors for a compilation result.
+// softImpls supplies SoftNIC shim bodies for the software accessors; a
+// missing implementation is only an error when that accessor is actually
+// invoked ("the user is responsible for providing a linkable software
+// implementation").
+func NewRuntime(res *core.Result, softImpls map[semantics.Name]SoftFunc) *Runtime {
+	rt := &Runtime{
+		Result:          res,
+		byName:          make(map[semantics.Name]*Reader, len(res.Accessors)),
+		CompletionBytes: res.CompletionBytes(),
+	}
+	for _, a := range res.Accessors {
+		r := &Reader{
+			Semantic:   a.Semantic,
+			Hardware:   a.Hardware,
+			OffsetBits: a.OffsetBits,
+			WidthBits:  a.WidthBits,
+		}
+		if a.Hardware {
+			off, w := a.OffsetBits, a.WidthBits
+			if off%8 == 0 && (w == 8 || w == 16 || w == 32 || w == 64) {
+				r.read = func(d []byte) uint64 { return bitfield.ReadAligned(d, off, w) }
+			} else {
+				r.read = func(d []byte) uint64 { return bitfield.Read(d, off, w) }
+			}
+		} else {
+			r.soft = softImpls[a.Semantic]
+		}
+		rt.Readers = append(rt.Readers, r)
+		rt.byName[a.Semantic] = r
+	}
+	return rt
+}
+
+// Reader returns the accessor for a semantic, or nil.
+func (rt *Runtime) Reader(s semantics.Name) *Reader { return rt.byName[s] }
+
+// Read is a convenience wrapper: read one semantic for a received packet.
+func (rt *Runtime) Read(s semantics.Name, desc, packet []byte) (uint64, error) {
+	r := rt.byName[s]
+	if r == nil {
+		return 0, fmt.Errorf("codegen: no accessor for semantic %q", s)
+	}
+	if !r.Hardware && r.soft == nil {
+		return 0, fmt.Errorf("codegen: software shim for %q not linked", s)
+	}
+	return r.Read(desc, packet), nil
+}
+
+// ReadAll reads every accessor into dst (keyed by semantic); used by the
+// full-extraction comparison paths and tests.
+func (rt *Runtime) ReadAll(desc, packet []byte, dst map[semantics.Name]uint64) {
+	for _, r := range rt.Readers {
+		dst[r.Semantic] = r.Read(desc, packet)
+	}
+}

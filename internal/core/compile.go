@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opendesc/internal/p4/sema"
+	"opendesc/internal/semantics"
+)
+
+// DeparserSpec identifies the completion deparser of a NIC description.
+type DeparserSpec struct {
+	// Info is the checked NIC description.
+	Info *sema.Info
+	// ControlName names the CmptDeparser control. If empty, the single
+	// control whose name contains "CmptDeparser" is used.
+	ControlName string
+	// Bindings maps template type parameters to concrete type names;
+	// @bind annotations on the control supply defaults.
+	Bindings map[string]string
+	// OutParam names the completion channel parameter (auto-detected from
+	// the cmpt_out extern type when empty).
+	OutParam string
+}
+
+// Accessor is one host-side metadata accessor synthesized for a compiled
+// intent: either a constant-time read at a fixed bit offset of the completion
+// record (Hardware=true) or a SoftNIC shim (Hardware=false).
+type Accessor struct {
+	Semantic  semantics.Name
+	FieldName string // layout field (hardware) or intent field (software)
+	// OffsetBits/WidthBits locate the bit slice inside the completion record
+	// for hardware accessors.
+	OffsetBits int
+	WidthBits  int
+	Hardware   bool
+	// SoftCost is the modelled per-packet cost of the software shim.
+	SoftCost float64
+}
+
+// Result is the output of one OpenDesc compilation: the chosen completion
+// path, its layout, and the synthesized accessor table.
+type Result struct {
+	NIC     string
+	Control string
+	Graph   *Graph
+	Paths   []*Path
+	Scored  []Scored
+	// Selected is the optimal path p*.
+	Selected Scored
+	Intent   *Intent
+	// Accessors has one entry per intent field, hardware accessors first in
+	// layout order, then software shims in intent order.
+	Accessors []Accessor
+	// Config lists the context-register constraints that make the NIC take
+	// the selected path (programmed over the control channel).
+	Config []Constraint
+}
+
+// Missing lists the semantics that must be computed in software.
+func (r *Result) Missing() []semantics.Name { return r.Selected.Missing }
+
+// HardwareSet returns the semantics served directly from the descriptor.
+func (r *Result) HardwareSet() semantics.Set {
+	s := make(semantics.Set)
+	for _, a := range r.Accessors {
+		if a.Hardware {
+			s.Add(a.Semantic)
+		}
+	}
+	return s
+}
+
+// Accessor returns the accessor for a semantic, or nil.
+func (r *Result) Accessor(s semantics.Name) *Accessor {
+	for i := range r.Accessors {
+		if r.Accessors[i].Semantic == s {
+			return &r.Accessors[i]
+		}
+	}
+	return nil
+}
+
+// CompletionBytes is the DMA footprint of the selected completion layout.
+func (r *Result) CompletionBytes() int { return r.Selected.Path.SizeBytes() }
+
+// FindDeparser locates the completion deparser control per the spec.
+func FindDeparser(spec DeparserSpec) (string, error) {
+	if spec.ControlName != "" {
+		if spec.Info.Prog.Control(spec.ControlName) == nil {
+			return "", fmt.Errorf("control %q not found", spec.ControlName)
+		}
+		return spec.ControlName, nil
+	}
+	var found string
+	for _, c := range spec.Info.Prog.Controls() {
+		if strings.Contains(c.Name, "CmptDeparser") {
+			if found != "" {
+				return "", fmt.Errorf("multiple CmptDeparser controls (%s, %s); name one explicitly", found, c.Name)
+			}
+			found = c.Name
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("no CmptDeparser control found")
+	}
+	return found, nil
+}
+
+// BuildDeparserGraph parses, binds and extracts the CFG for a deparser spec.
+func BuildDeparserGraph(spec DeparserSpec) (*Graph, error) {
+	name, err := FindDeparser(spec)
+	if err != nil {
+		return nil, err
+	}
+	ctl := spec.Info.Prog.Control(name)
+	inst, err := spec.Info.BindControl(ctl, spec.Bindings)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(spec.Info, inst, spec.OutParam)
+}
+
+// CompileOptions bundle the tunables of a compilation.
+type CompileOptions struct {
+	Select    SelectOptions
+	Enumerate EnumerateOptions
+}
+
+// Compile maps an application intent onto a NIC description: CFG extraction,
+// path characterization, Eq. 1 optimization, and host accessor synthesis.
+func Compile(nicName string, spec DeparserSpec, intent *Intent, opts CompileOptions) (*Result, error) {
+	g, err := BuildDeparserGraph(spec)
+	if err != nil {
+		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
+	}
+	paths, err := EnumeratePaths(g, opts.Enumerate)
+	if err != nil {
+		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
+	}
+	selOpts := opts.Select.withDefaults()
+	selOpts.Costs = intent.CostModel(selOpts.Costs)
+	req := intent.Req()
+	best, scored, err := SelectPath(g.Control, paths, req, selOpts)
+	if err != nil {
+		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
+	}
+	res := &Result{
+		NIC:      nicName,
+		Control:  g.Control,
+		Graph:    g,
+		Paths:    paths,
+		Scored:   scored,
+		Selected: best,
+		Intent:   intent,
+		Config:   best.Path.Constraints,
+	}
+	res.Accessors = synthesizeAccessors(best, intent, selOpts.Costs)
+	return res, nil
+}
+
+// synthesizeAccessors builds the accessor table for the selected path:
+// constant-time bit-slice readers for every s ∈ Prov(p*) ∩ Req, SoftNIC shims
+// for the rest.
+func synthesizeAccessors(best Scored, intent *Intent, costs semantics.CostModel) []Accessor {
+	var hw, sw []Accessor
+	missing := make(map[semantics.Name]bool, len(best.Missing))
+	for _, m := range best.Missing {
+		missing[m] = true
+	}
+	for _, f := range intent.Fields {
+		if missing[f.Semantic] {
+			sw = append(sw, Accessor{
+				Semantic:  f.Semantic,
+				FieldName: f.FieldName,
+				WidthBits: f.WidthBits,
+				Hardware:  false,
+				SoftCost:  costs(f.Semantic),
+			})
+			continue
+		}
+		lf := best.Path.Field(f.Semantic)
+		if lf == nil {
+			// Prov(p) said present; defensive fallback to software.
+			sw = append(sw, Accessor{
+				Semantic: f.Semantic, FieldName: f.FieldName,
+				WidthBits: f.WidthBits, SoftCost: costs(f.Semantic),
+			})
+			continue
+		}
+		hw = append(hw, Accessor{
+			Semantic:   f.Semantic,
+			FieldName:  lf.Name,
+			OffsetBits: lf.OffsetBits,
+			WidthBits:  lf.WidthBits,
+			Hardware:   true,
+		})
+	}
+	sort.Slice(hw, func(i, j int) bool { return hw[i].OffsetBits < hw[j].OffsetBits })
+	return append(hw, sw...)
+}
+
+// Report renders a human-readable compilation report (the prototype's
+// primary output: "the user is informed of missing s").
+func (r *Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OpenDesc compilation: %s / %s\n", r.NIC, r.Control)
+	fmt.Fprintf(&sb, "  intent %s requests %s\n", r.Intent.Name, r.Intent.Req())
+	fmt.Fprintf(&sb, "  completion paths: %d\n", len(r.Paths))
+	for _, s := range r.Scored {
+		marker := "   "
+		if s.Path.ID == r.Selected.Path.ID {
+			marker = " * "
+		}
+		fmt.Fprintf(&sb, "  %s%s  soft=%.1f dma=%.1f total=%.1f\n",
+			marker, s.Path, s.SoftCost, s.DMACost, s.Total)
+	}
+	fmt.Fprintf(&sb, "  selected path %d: %d-byte completion\n", r.Selected.Path.ID, r.CompletionBytes())
+	if len(r.Config) > 0 {
+		fmt.Fprintf(&sb, "  context config:")
+		for _, c := range r.Config {
+			fmt.Fprintf(&sb, " %s;", c)
+		}
+		sb.WriteString("\n")
+	}
+	for _, a := range r.Accessors {
+		if a.Hardware {
+			fmt.Fprintf(&sb, "  accessor %-14s hardware  bits[%d:%d) field %s\n",
+				a.Semantic, a.OffsetBits, a.OffsetBits+a.WidthBits, a.FieldName)
+		} else {
+			fmt.Fprintf(&sb, "  accessor %-14s SOFTWARE  shim (cost %.1f) — provide implementation for %q\n",
+				a.Semantic, a.SoftCost, a.Semantic)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"opendesc/internal/p4/ast"
+)
+
+// DOT renders the CFG in Graphviz format (the paper's Figure 6 left-hand
+// side: emit vertices, predicate-labeled edges).
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Control)
+	sb.WriteString("  rankdir=TB;\n  node [fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeEntry:
+			if n == g.Entry {
+				fmt.Fprintf(&sb, "  n%d [label=\"entry\", shape=circle];\n", n.ID)
+			} else {
+				// Anchor nodes are invisible pass-throughs.
+				fmt.Fprintf(&sb, "  n%d [shape=point, width=0.05];\n", n.ID)
+			}
+		case NodeExit:
+			fmt.Fprintf(&sb, "  n%d [label=\"exit\", shape=doublecircle];\n", n.ID)
+		case NodeEmit:
+			var fields []string
+			for _, f := range n.Emit.Fields {
+				tag := ""
+				if f.Semantic != "" {
+					tag = fmt.Sprintf(" (%s)", f.Semantic)
+				}
+				fields = append(fields, fmt.Sprintf("%s:%db%s", f.Name, f.WidthBits, tag))
+			}
+			fmt.Fprintf(&sb, "  n%d [label=\"emit %s\\n%s\", shape=box];\n",
+				n.ID, escape(n.Emit.Source), escape(strings.Join(fields, "\\n")))
+		case NodeBranch:
+			fmt.Fprintf(&sb, "  n%d [label=\"%s ?\", shape=diamond];\n", n.ID, escape(condLabel(n)))
+		case NodeSwitch:
+			fmt.Fprintf(&sb, "  n%d [label=\"switch %s\", shape=diamond];\n", n.ID, escape(tagLabel(n)))
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			label := e.Label
+			if label == "" {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, e.To.ID)
+			} else {
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", n.ID, e.To.ID, label)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func condLabel(n *Node) string {
+	if n.Cond == nil {
+		return "?"
+	}
+	return ast.Sprint(n.Cond)
+}
+
+func tagLabel(n *Node) string {
+	if n.Tag == nil {
+		return "?"
+	}
+	return ast.Sprint(n.Tag)
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

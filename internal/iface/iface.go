@@ -1,0 +1,324 @@
+// Package iface implements the three NIC↔host interface models the paper
+// discusses as candidates for a fully synthesized driver datapath (§5,
+// "Synthesizing the complete driver datapath"):
+//
+//   - Ringed:   classic per-packet descriptor + completion rings (the model
+//     every bundled NIC description uses);
+//   - Batched:  ASNI-style — packets and their completion metadata are
+//     aggregated inside a single larger frame, amortizing ring
+//     operations and keeping metadata inline with the data;
+//   - Streamed: Enso-style — a contiguous byte stream of raw packets with
+//     no per-packet descriptors at all; maximal raw throughput, but
+//     "the model collapses if the application needs to recompute
+//     metadata such as a hash in software".
+//
+// All three models deliver the same simulated traffic, so measured
+// differences isolate the interface shape itself (experiment E11).
+package iface
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/pkt"
+	"opendesc/internal/ring"
+	"opendesc/internal/semantics"
+)
+
+// Handler processes one received packet. meta reads a semantic from
+// whatever the interface model can provide; ok=false means the value is
+// unobtainable without software recomputation (the handler decides).
+type Handler func(packet []byte, meta MetaFunc)
+
+// MetaFunc reads one semantic for the current packet.
+type MetaFunc func(s semantics.Name) (uint64, bool)
+
+// Interface is a NIC↔host packet delivery model.
+type Interface interface {
+	Name() string
+	// Deliver runs the device side for a trace: packets become visible to
+	// the host side in order.
+	Deliver(packets [][]byte) error
+	// Poll runs the host side, invoking h for every delivered packet, and
+	// returns the number of packets processed.
+	Poll(h Handler) int
+	// PerPacketDescriptorBytes reports the descriptor/metadata bytes the
+	// model moves per packet (0 for streaming).
+	PerPacketDescriptorBytes() int
+}
+
+// ---- Ringed (per-packet descriptors) ----
+
+// Ringed is the classic model: one completion record per packet in a ring,
+// packet bytes in a buffer pool, metadata via generated accessors.
+type Ringed struct {
+	dev     *nicsim.Device
+	rt      *codegen.Runtime
+	res     *core.Result
+	packets [][]byte
+	count   int
+}
+
+// NewRinged builds the per-packet ring model for a NIC and intent.
+func NewRinged(model *nic.Model, res *core.Result, soft map[semantics.Name]codegen.SoftFunc, capacity int) (*Ringed, error) {
+	dev, err := nicsim.New(model, nicsim.Config{RingEntries: capacity})
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.ApplyConfig(res.Config); err != nil {
+		return nil, err
+	}
+	return &Ringed{dev: dev, rt: codegen.NewRuntime(res, soft), res: res}, nil
+}
+
+// Name implements Interface.
+func (r *Ringed) Name() string { return "ringed" }
+
+// PerPacketDescriptorBytes implements Interface.
+func (r *Ringed) PerPacketDescriptorBytes() int { return r.res.CompletionBytes() }
+
+// Deliver implements Interface.
+func (r *Ringed) Deliver(packets [][]byte) error {
+	r.packets = packets
+	r.count = 0
+	for _, p := range packets {
+		if !r.dev.RxPacket(p) {
+			return fmt.Errorf("iface: ring full after %d packets", r.count)
+		}
+		r.count++
+	}
+	return nil
+}
+
+// Poll implements Interface.
+func (r *Ringed) Poll(h Handler) int {
+	n := 0
+	for n < r.count {
+		p := r.packets[n]
+		if !r.dev.CmptRing.Consume(func(cmpt []byte) {
+			h(p, func(s semantics.Name) (uint64, bool) {
+				rd := r.rt.Reader(s)
+				if rd == nil || !rd.Hardware {
+					return 0, false
+				}
+				return rd.Read(cmpt, p), true
+			})
+		}) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// ---- Batched (ASNI-style frames) ----
+
+// batchedFrameHdr is the per-frame prefix: packet count.
+const batchedFrameHdr = 2
+
+// Batched aggregates packets and their completion metadata inside larger
+// frames: [u16 count] then per packet [u16 pktlen][cmpt bytes][pkt bytes].
+type Batched struct {
+	dev       *nicsim.Device
+	rt        *codegen.Runtime
+	res       *core.Result
+	batchSize int
+	cmptBytes int
+	frames    *ring.Ring
+	frameBuf  []byte
+}
+
+// NewBatched builds the ASNI-style model with the given packets-per-frame.
+func NewBatched(model *nic.Model, res *core.Result, soft map[semantics.Name]codegen.SoftFunc, batchSize, capacity int) (*Batched, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("iface: batch size must be positive")
+	}
+	dev, err := nicsim.New(model, nicsim.Config{RingEntries: batchSize + 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.ApplyConfig(res.Config); err != nil {
+		return nil, err
+	}
+	cb := res.CompletionBytes()
+	frameSize := batchedFrameHdr + batchSize*(2+cb+2048)
+	return &Batched{
+		dev:       dev,
+		rt:        codegen.NewRuntime(res, soft),
+		res:       res,
+		batchSize: batchSize,
+		cmptBytes: cb,
+		frames:    ring.MustNew(frameSize, capacity),
+		frameBuf:  make([]byte, frameSize),
+	}, nil
+}
+
+// Name implements Interface.
+func (b *Batched) Name() string { return "batched" }
+
+// PerPacketDescriptorBytes implements Interface.
+func (b *Batched) PerPacketDescriptorBytes() int { return b.cmptBytes + 2 }
+
+// Deliver implements Interface: the device side fills ASNI frames.
+func (b *Batched) Deliver(packets [][]byte) error {
+	i := 0
+	for i < len(packets) {
+		n := b.batchSize
+		if rem := len(packets) - i; rem < n {
+			n = rem
+		}
+		off := batchedFrameHdr
+		binary.BigEndian.PutUint16(b.frameBuf[0:], uint16(n))
+		for j := 0; j < n; j++ {
+			p := packets[i+j]
+			if !b.dev.RxPacket(p) {
+				return fmt.Errorf("iface: device stalled")
+			}
+			var ok bool
+			b.dev.CmptRing.Consume(func(cmpt []byte) {
+				binary.BigEndian.PutUint16(b.frameBuf[off:], uint16(len(p)))
+				off += 2
+				copy(b.frameBuf[off:], cmpt[:b.cmptBytes])
+				off += b.cmptBytes
+				copy(b.frameBuf[off:], p)
+				off += len(p)
+				ok = true
+			})
+			if !ok {
+				return fmt.Errorf("iface: completion missing")
+			}
+		}
+		if !b.frames.Push(b.frameBuf[:off]) {
+			return fmt.Errorf("iface: frame ring full")
+		}
+		i += n
+	}
+	return nil
+}
+
+// Poll implements Interface: the host side unpacks frames.
+func (b *Batched) Poll(h Handler) int {
+	total := 0
+	for {
+		consumed := b.frames.Consume(func(frame []byte) {
+			n := int(binary.BigEndian.Uint16(frame[0:]))
+			off := batchedFrameHdr
+			for j := 0; j < n; j++ {
+				plen := int(binary.BigEndian.Uint16(frame[off:]))
+				off += 2
+				cmpt := frame[off : off+b.cmptBytes]
+				off += b.cmptBytes
+				p := frame[off : off+plen]
+				off += plen
+				h(p, func(s semantics.Name) (uint64, bool) {
+					rd := b.rt.Reader(s)
+					if rd == nil || !rd.Hardware {
+						return 0, false
+					}
+					return rd.Read(cmpt, p), true
+				})
+				total++
+			}
+		})
+		if !consumed {
+			return total
+		}
+	}
+}
+
+// ---- Streamed (Enso-style) ----
+
+// Streamed delivers raw packet bytes back-to-back in one contiguous buffer
+// with no per-packet descriptors. Packet boundaries are recovered by parsing
+// the packets themselves; any metadata must be recomputed in software.
+type Streamed struct {
+	buf   []byte
+	used  int
+	count int
+}
+
+// NewStreamed builds the Enso-style model with the given buffer capacity.
+func NewStreamed(capacity int) *Streamed {
+	return &Streamed{buf: make([]byte, capacity)}
+}
+
+// Name implements Interface.
+func (s *Streamed) Name() string { return "streamed" }
+
+// PerPacketDescriptorBytes implements Interface.
+func (s *Streamed) PerPacketDescriptorBytes() int { return 0 }
+
+// Deliver implements Interface: packets are copied back-to-back (the
+// device-side DMA into the stream buffer).
+func (s *Streamed) Deliver(packets [][]byte) error {
+	s.used = 0
+	s.count = 0
+	for _, p := range packets {
+		if s.used+len(p) > len(s.buf) {
+			return fmt.Errorf("iface: stream buffer full after %d packets", s.count)
+		}
+		copy(s.buf[s.used:], p)
+		s.used += len(p)
+		s.count++
+	}
+	return nil
+}
+
+// Poll implements Interface: packet boundaries are recovered from the L3
+// length fields, exactly the bookkeeping an Enso-style consumer performs.
+func (s *Streamed) Poll(h Handler) int {
+	off := 0
+	n := 0
+	for off < s.used && n < s.count {
+		p, adv, err := nextPacket(s.buf[off:s.used])
+		if err != nil {
+			return n
+		}
+		h(p, func(semantics.Name) (uint64, bool) {
+			return 0, false // no descriptors: nothing is free
+		})
+		off += adv
+		n++
+	}
+	return n
+}
+
+// nextPacket determines the boundary of the first packet in the stream from
+// its headers (Ethernet + IP total length).
+func nextPacket(b []byte) ([]byte, int, error) {
+	if len(b) < pkt.EthHeaderLen {
+		return nil, 0, fmt.Errorf("iface: truncated stream")
+	}
+	off := pkt.EthHeaderLen
+	et := binary.BigEndian.Uint16(b[12:14])
+	for et == pkt.EtherTypeVLAN || et == pkt.EtherTypeQinQ {
+		if len(b) < off+pkt.VLANTagLen {
+			return nil, 0, fmt.Errorf("iface: truncated vlan")
+		}
+		et = binary.BigEndian.Uint16(b[off+2 : off+4])
+		off += pkt.VLANTagLen
+	}
+	var total int
+	switch et {
+	case pkt.EtherTypeIPv4:
+		if len(b) < off+pkt.IPv4MinLen {
+			return nil, 0, fmt.Errorf("iface: truncated ipv4")
+		}
+		total = off + int(binary.BigEndian.Uint16(b[off+2:off+4]))
+	case pkt.EtherTypeIPv6:
+		if len(b) < off+pkt.IPv6HeaderLen {
+			return nil, 0, fmt.Errorf("iface: truncated ipv6")
+		}
+		total = off + pkt.IPv6HeaderLen + int(binary.BigEndian.Uint16(b[off+4:off+6]))
+	default:
+		return nil, 0, fmt.Errorf("iface: cannot delimit ethertype %#x in stream", et)
+	}
+	if total > len(b) {
+		return nil, 0, fmt.Errorf("iface: packet spans past stream end")
+	}
+	return b[:total], total, nil
+}

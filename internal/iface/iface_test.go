@@ -1,0 +1,194 @@
+package iface
+
+import (
+	"testing"
+
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/workload"
+)
+
+func lbResult(t *testing.T) (*nic.Model, *core.Result) {
+	t.Helper()
+	m := nic.MustLoad("mlx5")
+	intent, err := core.IntentFromSemantics("lb", semantics.Default,
+		semantics.RSS, semantics.PktLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Compile(intent, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func trace(t *testing.T, n int) [][]byte {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.Packets = n
+	spec.VLANFraction = 0 // keep streams delimitable without VLAN handling edge cases
+	return workload.MustGenerate(spec).Packets
+}
+
+// TestAllModelsDeliverSamePackets checks that every interface model hands the
+// host the same packet sequence.
+func TestAllModelsDeliverSamePackets(t *testing.T) {
+	m, res := lbResult(t)
+	packets := trace(t, 200)
+	soft := softnic.Funcs()
+
+	ringed, err := NewRinged(m, res, soft, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewBatched(m, res, soft, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := NewStreamed(1 << 20)
+
+	for _, ifc := range []Interface{ringed, batched, streamed} {
+		if err := ifc.Deliver(packets); err != nil {
+			t.Fatalf("%s deliver: %v", ifc.Name(), err)
+		}
+		var got [][]byte
+		n := ifc.Poll(func(p []byte, _ MetaFunc) {
+			cp := append([]byte(nil), p...)
+			got = append(got, cp)
+		})
+		if n != len(packets) {
+			t.Fatalf("%s polled %d of %d packets", ifc.Name(), n, len(packets))
+		}
+		for i := range got {
+			if string(got[i]) != string(packets[i]) {
+				t.Fatalf("%s packet %d differs", ifc.Name(), i)
+			}
+		}
+	}
+}
+
+// TestMetadataAvailability pins the §5 trade-off: descriptor-bearing models
+// serve the hash from hardware; the streaming model cannot.
+func TestMetadataAvailability(t *testing.T) {
+	m, res := lbResult(t)
+	packets := trace(t, 50)
+	soft := softnic.Funcs()
+
+	ringed, _ := NewRinged(m, res, soft, 64)
+	batched, _ := NewBatched(m, res, soft, 8, 16)
+	streamed := NewStreamed(1 << 20)
+
+	for _, ifc := range []Interface{ringed, batched} {
+		if err := ifc.Deliver(packets); err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		ifc.Poll(func(p []byte, meta MetaFunc) {
+			hw, ok := meta(semantics.RSS)
+			if !ok {
+				t.Fatalf("%s: hash not available from descriptors", ifc.Name())
+			}
+			var in pkt.Info
+			if err := pkt.Decode(p, &in); err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(softnic.RSS(&in)); hw != want {
+				t.Fatalf("%s: hash %#x != golden %#x", ifc.Name(), hw, want)
+			}
+			checked++
+		})
+		if checked != len(packets) {
+			t.Fatalf("%s checked %d", ifc.Name(), checked)
+		}
+	}
+
+	if err := streamed.Deliver(packets); err != nil {
+		t.Fatal(err)
+	}
+	streamed.Poll(func(p []byte, meta MetaFunc) {
+		if _, ok := meta(semantics.RSS); ok {
+			t.Fatal("streaming model must not offer descriptor metadata")
+		}
+	})
+}
+
+func TestBatchedDescriptorOverheadPerPacket(t *testing.T) {
+	m, res := lbResult(t)
+	batched, err := NewBatched(m, res, softnic.Funcs(), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batched.PerPacketDescriptorBytes(); got != res.CompletionBytes()+2 {
+		t.Errorf("per-packet bytes = %d", got)
+	}
+	streamed := NewStreamed(1 << 16)
+	if streamed.PerPacketDescriptorBytes() != 0 {
+		t.Error("streaming carries no descriptors")
+	}
+}
+
+func TestBatchedPartialFrame(t *testing.T) {
+	m, res := lbResult(t)
+	batched, err := NewBatched(m, res, softnic.Funcs(), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := trace(t, 21) // 16 + 5: last frame is partial
+	if err := batched.Deliver(packets); err != nil {
+		t.Fatal(err)
+	}
+	if n := batched.Poll(func([]byte, MetaFunc) {}); n != 21 {
+		t.Errorf("polled %d, want 21", n)
+	}
+}
+
+func TestStreamedBufferFull(t *testing.T) {
+	streamed := NewStreamed(256)
+	packets := trace(t, 50)
+	if err := streamed.Deliver(packets); err == nil {
+		t.Error("overflow should error")
+	}
+}
+
+func TestStreamedVLANDelimiting(t *testing.T) {
+	streamed := NewStreamed(1 << 16)
+	p1 := pkt.NewBuilder().WithVLAN(5).WithUDP(1, 2).WithPayload([]byte("abc")).Build()
+	p2 := pkt.NewBuilder().WithTCP(3, 4, 0).Build()
+	if err := streamed.Deliver([][]byte{p1, p2}); err != nil {
+		t.Fatal(err)
+	}
+	var lens []int
+	if n := streamed.Poll(func(p []byte, _ MetaFunc) { lens = append(lens, len(p)) }); n != 2 {
+		t.Fatalf("polled %d", n)
+	}
+	if lens[0] != len(p1) || lens[1] != len(p2) {
+		t.Errorf("boundaries = %v, want %d,%d", lens, len(p1), len(p2))
+	}
+}
+
+func TestStreamedUndelimitableStops(t *testing.T) {
+	streamed := NewStreamed(1 << 12)
+	arp := pkt.NewBuilder().Build()
+	arp[12], arp[13] = 0x08, 0x06 // ARP has no length field to delimit on
+	if err := streamed.Deliver([][]byte{arp}); err != nil {
+		t.Fatal(err)
+	}
+	if n := streamed.Poll(func([]byte, MetaFunc) {}); n != 0 {
+		t.Errorf("undelimitable stream should stop, polled %d", n)
+	}
+}
+
+func TestRingedCapacityError(t *testing.T) {
+	m, res := lbResult(t)
+	ringed, err := NewRinged(m, res, softnic.Funcs(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ringed.Deliver(trace(t, 50)); err == nil {
+		t.Error("ring overflow should error")
+	}
+}

@@ -1,0 +1,88 @@
+package nicsim
+
+import (
+	"fmt"
+
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/pkt"
+)
+
+// The paper notes that "applications might use multiple OpenDesc instances
+// with different intents to obtain different queues tailored for different
+// kind of traffic". MultiQueue models that: each queue carries its own
+// context configuration (and therefore its own completion layout, selected
+// by its own compiled intent), and a steering classifier assigns incoming
+// packets to queues — like hardware flow-steering rules feeding RSS queues.
+
+// Steer classifies a packet to a queue index. Returning a negative index
+// drops the packet (an RX filter).
+type Steer func(in *pkt.Info) int
+
+// SteerByL4Port builds a classifier sending packets whose L4 destination
+// port appears in the map to the mapped queue and everything else to def.
+func SteerByL4Port(byPort map[uint16]int, def int) Steer {
+	return func(in *pkt.Info) int {
+		if q, ok := byPort[in.DstPort]; ok {
+			return q
+		}
+		return def
+	}
+}
+
+// MultiQueue is a simulated device with per-queue completion layouts.
+type MultiQueue struct {
+	Model  *nic.Model
+	Queues []*Device
+	steer  Steer
+
+	info    pkt.Info
+	dropped uint64
+}
+
+// NewMultiQueue builds a device with one queue per compilation result,
+// programming each queue's context from its result's constraints.
+func NewMultiQueue(m *nic.Model, results []*core.Result, steer Steer, cfg Config) (*MultiQueue, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("nicsim: multiqueue needs at least one queue")
+	}
+	if steer == nil {
+		return nil, fmt.Errorf("nicsim: multiqueue needs a steering function")
+	}
+	mq := &MultiQueue{Model: m, steer: steer}
+	for i, res := range results {
+		qcfg := cfg
+		qcfg.QueueID = uint16(i)
+		dev, err := New(m, qcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.ApplyConfig(res.Config); err != nil {
+			return nil, fmt.Errorf("queue %d: %w", i, err)
+		}
+		mq.Queues = append(mq.Queues, dev)
+	}
+	return mq, nil
+}
+
+// RxPacket steers one packet to its queue and delivers it there. It returns
+// the queue index, or -1 when the packet was dropped (filtered, unsteerable,
+// or the queue ring was full).
+func (mq *MultiQueue) RxPacket(packet []byte) int {
+	q := 0
+	if err := pkt.Decode(packet, &mq.info); err == nil {
+		q = mq.steer(&mq.info)
+	}
+	if q < 0 || q >= len(mq.Queues) {
+		mq.dropped++
+		return -1
+	}
+	if !mq.Queues[q].RxPacket(packet) {
+		mq.dropped++
+		return -1
+	}
+	return q
+}
+
+// Dropped returns the number of filtered or overflowed packets.
+func (mq *MultiQueue) Dropped() uint64 { return mq.dropped }

@@ -1,0 +1,126 @@
+package nicsim
+
+import (
+	"testing"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+)
+
+// TestMultiQueueDifferentIntents runs the paper's multi-instance scenario:
+// a KV queue (16B entries with the key digest) and a telemetry queue (32B
+// entries with timestamps) on the same programmable NIC, with port steering.
+func TestMultiQueueDifferentIntents(t *testing.T) {
+	m := nic.MustLoad("qdma")
+	kvRes := compileOn(t, "qdma", semantics.KVKey, semantics.RSS)
+	tsRes := compileOn(t, "qdma", semantics.Timestamp, semantics.RSS, semantics.PktLen)
+
+	mq, err := NewMultiQueue(m, []*core.Result{kvRes, tsRes},
+		SteerByL4Port(map[uint16]int{11211: 0}, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kvPkt := pkt.NewBuilder().WithUDP(9000, 11211).WithPayload([]byte("get k:1\r\n")).Build()
+	webPkt := pkt.NewBuilder().WithTCP(443, 50000, 0x18).Build()
+
+	if q := mq.RxPacket(kvPkt); q != 0 {
+		t.Fatalf("kv packet steered to queue %d", q)
+	}
+	if q := mq.RxPacket(webPkt); q != 1 {
+		t.Fatalf("web packet steered to queue %d", q)
+	}
+	if mq.Queues[0].CmptRing.Len() != 1 || mq.Queues[1].CmptRing.Len() != 1 {
+		t.Fatal("completions not delivered per queue")
+	}
+
+	// Queue 0 serves kv_key in hardware from a 16B entry.
+	kvRT := codegen.NewRuntime(kvRes, softnic.Funcs())
+	if kvRes.CompletionBytes() != 16 {
+		t.Errorf("kv queue entry = %dB", kvRes.CompletionBytes())
+	}
+	cmpt := mq.Queues[0].CmptRing.Peek()
+	key, err := kvRT.Read(semantics.KVKey, cmpt, kvPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in pkt.Info
+	if err := pkt.Decode(kvPkt, &in); err != nil {
+		t.Fatal(err)
+	}
+	if want := softnic.KVKey(&in); key != want {
+		t.Errorf("kv key = %#x, want %#x", key, want)
+	}
+
+	// Queue 1 serves timestamps from a 32B entry.
+	tsRT := codegen.NewRuntime(tsRes, softnic.Funcs())
+	if tsRes.CompletionBytes() != 32 {
+		t.Errorf("telemetry queue entry = %dB", tsRes.CompletionBytes())
+	}
+	cmpt = mq.Queues[1].CmptRing.Peek()
+	ts, err := tsRT.Read(semantics.Timestamp, cmpt, webPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts == 0 {
+		t.Error("timestamp should be non-zero")
+	}
+	// The queue id is reported per queue.
+	if mq.Queues[1].cfg.QueueID != 1 {
+		t.Errorf("queue id = %d", mq.Queues[1].cfg.QueueID)
+	}
+}
+
+func TestMultiQueueDropsNegativeSteer(t *testing.T) {
+	m := nic.MustLoad("mlx5")
+	res := compileOn(t, "mlx5", semantics.RSS)
+	mq, err := NewMultiQueue(m, []*core.Result{res},
+		func(in *pkt.Info) int {
+			if in.L4 == pkt.L4TCP {
+				return -1 // filter out TCP
+			}
+			return 0
+		}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := pkt.NewBuilder().WithTCP(1, 2, 0).Build()
+	udp := pkt.NewBuilder().WithUDP(3, 4).Build()
+	if q := mq.RxPacket(tcp); q != -1 {
+		t.Errorf("tcp steered to %d, want drop", q)
+	}
+	if q := mq.RxPacket(udp); q != 0 {
+		t.Errorf("udp steered to %d", q)
+	}
+	if mq.Dropped() != 1 {
+		t.Errorf("dropped = %d", mq.Dropped())
+	}
+}
+
+func TestMultiQueueOutOfRangeSteer(t *testing.T) {
+	m := nic.MustLoad("mlx5")
+	res := compileOn(t, "mlx5", semantics.RSS)
+	mq, err := NewMultiQueue(m, []*core.Result{res},
+		func(*pkt.Info) int { return 7 }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := mq.RxPacket(pkt.NewBuilder().Build()); q != -1 {
+		t.Errorf("out-of-range steer delivered to %d", q)
+	}
+}
+
+func TestMultiQueueValidation(t *testing.T) {
+	m := nic.MustLoad("mlx5")
+	if _, err := NewMultiQueue(m, nil, func(*pkt.Info) int { return 0 }, Config{}); err == nil {
+		t.Error("zero queues accepted")
+	}
+	res := compileOn(t, "mlx5", semantics.RSS)
+	if _, err := NewMultiQueue(m, []*core.Result{res}, nil, Config{}); err == nil {
+		t.Error("nil steer accepted")
+	}
+}

@@ -1,0 +1,449 @@
+// Package nicsim simulates a NIC whose descriptor interface is defined by an
+// OpenDesc P4 description. The simulated device *executes the same
+// declarative contract the compiler analyzes*: per received packet it walks
+// the completion deparser's control-flow graph under the programmed context
+// registers, computes the offload metadata with golden reference engines, and
+// DMAs the serialized completion record into a completion ring — so the
+// layouts the compiler derives and the bytes the device emits are validated
+// against each other end-to-end.
+package nicsim
+
+import (
+	"fmt"
+	"strings"
+
+	"opendesc/internal/bitfield"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/p4/sema"
+	"opendesc/internal/pkt"
+	"opendesc/internal/ring"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+)
+
+// Config sizes a simulated device.
+type Config struct {
+	// RingEntries is the completion ring depth (default 1024).
+	RingEntries int
+	// BufSize is the RX packet buffer size (default 2048).
+	BufSize int
+	// QueueID is reported through the queue_id semantic.
+	QueueID uint16
+	// TimestampStep is the simulated clock advance per received packet in
+	// nanoseconds (default 100).
+	TimestampStep uint64
+	// Mark is the value reported for the mark semantic (a match-action rule
+	// tag); configurable like a flow rule.
+	Mark uint64
+	// CryptoCtx is the crypto context id the (simulated) inline-crypto engine
+	// attaches to packets.
+	CryptoCtx uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingEntries == 0 {
+		c.RingEntries = 1024
+	}
+	if c.BufSize == 0 {
+		c.BufSize = 2048
+	}
+	if c.TimestampStep == 0 {
+		c.TimestampStep = 100
+	}
+	return c
+}
+
+// Device is a simulated OpenDesc-described NIC.
+type Device struct {
+	Model *nic.Model
+	cfg   Config
+
+	graph *core.Graph
+	paths []*core.Path
+
+	// ctx holds the context registers (the implicit control channel of the
+	// paper's Fig. 2), keyed by dotted path, e.g. "ctx.use_rss".
+	ctx map[string]sema.Value
+
+	// CmptRing receives the serialized completion records.
+	CmptRing *ring.Ring
+	// Buffers is the RX packet buffer area; completion i corresponds to
+	// buffer slot i modulo pool size.
+	Buffers *ring.BufferPool
+
+	clock   uint64
+	rxCount uint64
+	drops   uint64
+
+	// metaParams are the deparser parameters whose fields feed the emit
+	// environment (context param excluded).
+	metaParams []*sema.BoundParam
+	ctxParam   string
+
+	// scratch
+	info    pkt.Info
+	envBuf  sema.MapEnv
+	cmptBuf []byte
+}
+
+// maxCompletionBytes bounds a single completion record in the simulator.
+const maxCompletionBytes = 256
+
+// New builds a simulated device for a NIC model.
+func New(m *nic.Model, cfg Config) (*Device, error) {
+	cfg = cfg.withDefaults()
+	g, err := m.Graph()
+	if err != nil {
+		return nil, err
+	}
+	paths, err := m.Paths()
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		Model:    m,
+		cfg:      cfg,
+		graph:    g,
+		paths:    paths,
+		ctx:      make(map[string]sema.Value),
+		CmptRing: ring.MustNew(maxCompletionBytes, cfg.RingEntries),
+		Buffers:  ring.MustNewBufferPool(cfg.BufSize, cfg.RingEntries),
+		envBuf:   make(sema.MapEnv),
+		cmptBuf:  make([]byte, maxCompletionBytes),
+	}
+	inst := g.Instance()
+	for _, p := range inst.Params {
+		ct, ok := p.Type.(*sema.CompositeType)
+		if !ok {
+			continue
+		}
+		// The context parameter is the struct the branch conditions read; it
+		// is identified by convention (ctx-ish name) or by carrying no
+		// semantic-tagged fields while being named in constraints.
+		if strings.Contains(p.Name, "ctx") {
+			d.ctxParam = p.Name
+			continue
+		}
+		_ = ct
+		d.metaParams = append(d.metaParams, p)
+	}
+	return d, nil
+}
+
+// MustNew panics on error.
+func MustNew(m *nic.Model, cfg Config) *Device {
+	d, err := New(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// WriteReg programs one context register (MMIO write on the control
+// channel). The path is the dotted name used in the description, e.g.
+// "ctx.use_rss".
+func (d *Device) WriteReg(path string, v uint64) {
+	d.ctx[path] = sema.UintValue(v, 64)
+}
+
+// ReadReg returns a context register value (0 when never written).
+func (d *Device) ReadReg(path string) uint64 { return d.ctx[path].Uint }
+
+// ApplyConfig programs the context registers so the device takes the
+// completion path selected by a compilation result. Equality constraints set
+// the register outright; disequalities pick the smallest value not excluded.
+func (d *Device) ApplyConfig(cons []core.Constraint) error {
+	type excl struct {
+		vals  []uint64
+		fixed *uint64
+	}
+	byVar := map[string]*excl{}
+	for _, c := range cons {
+		e := byVar[c.Var]
+		if e == nil {
+			e = &excl{}
+			byVar[c.Var] = e
+		}
+		if c.Equal {
+			v := c.Val.Uint
+			if e.fixed != nil && *e.fixed != v {
+				return fmt.Errorf("nicsim: conflicting config for %s: %d vs %d", c.Var, *e.fixed, v)
+			}
+			e.fixed = &v
+		} else {
+			e.vals = append(e.vals, c.Val.Uint)
+		}
+	}
+	for v, e := range byVar {
+		if e.fixed != nil {
+			d.WriteReg(v, *e.fixed)
+			continue
+		}
+		val := uint64(0)
+	search:
+		for {
+			for _, x := range e.vals {
+				if x == val {
+					val++
+					continue search
+				}
+			}
+			break
+		}
+		d.WriteReg(v, val)
+	}
+	return nil
+}
+
+// ActivePath returns the completion path the current context registers
+// select, by evaluating each enumerated path's constraints.
+func (d *Device) ActivePath() (*core.Path, error) {
+	for _, p := range d.paths {
+		ok := true
+		for _, c := range p.Constraints {
+			got := d.ctx[c.Var]
+			if c.Equal != got.Equal(c.Val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("nicsim %s: no completion path matches context %v", d.Model.Name, d.ctx)
+}
+
+// ContextParam returns the name of the deparser's context parameter (the
+// struct the control channel programs), e.g. "ctx".
+func (d *Device) ContextParam() string { return d.ctxParam }
+
+// Stats reports device counters.
+func (d *Device) Stats() (rx, drops uint64) { return d.rxCount, d.drops }
+
+// RxPacket makes the device receive one packet from the wire: it DMAs the
+// packet into the next buffer slot, computes the offload metadata, walks the
+// deparser CFG under the programmed context, and DMAs the completion record.
+// It returns false when the completion ring is full (packet dropped, as
+// hardware would).
+func (d *Device) RxPacket(packet []byte) bool {
+	slot := int(d.rxCount) % d.Buffers.Count()
+	if err := d.Buffers.Write(slot, packet); err != nil {
+		d.drops++
+		return false
+	}
+	d.clock += d.cfg.TimestampStep
+
+	vals := d.computeOffloads(packet)
+	env := d.buildEnv(vals)
+	n, err := d.serializeCompletion(env, d.cmptBuf)
+	if err != nil {
+		d.drops++
+		return false
+	}
+	if !d.CmptRing.Push(d.cmptBuf[:n]) {
+		d.drops++
+		return false
+	}
+	d.rxCount++
+	return true
+}
+
+// computeOffloads runs the golden reference engines over the packet.
+func (d *Device) computeOffloads(packet []byte) map[semantics.Name]uint64 {
+	in := &d.info
+	decodeOK := pkt.Decode(packet, in) == nil
+	vals := map[semantics.Name]uint64{
+		semantics.PktLen:     uint64(len(packet)),
+		semantics.Timestamp:  d.clock,
+		semantics.QueueID:    uint64(d.cfg.QueueID),
+		semantics.Mark:       d.cfg.Mark,
+		semantics.CryptoCtx:  d.cfg.CryptoCtx,
+		semantics.LROSegs:    1,
+		semantics.SegCnt:     1,
+		semantics.RXDropHint: 0,
+	}
+	if !decodeOK {
+		vals[semantics.ErrorFlags] = 0x80 // parse error
+		return vals
+	}
+	vals[semantics.RSS] = uint64(softnic.RSS(in))
+	vals[semantics.IPChecksum] = uint64(softnic.IPChecksum(in))
+	vals[semantics.L4Checksum] = uint64(softnic.L4Checksum(in))
+	vals[semantics.VLAN] = uint64(softnic.VLANTCI(in))
+	vals[semantics.PType] = uint64(softnic.PType(in))
+	vals[semantics.FlowID] = uint64(softnic.FlowID(in))
+	vals[semantics.IPID] = uint64(in.IPID)
+	vals[semantics.KVKey] = softnic.KVKey(in)
+	vals[semantics.PayloadHash] = uint64(softnic.PayloadHash(in))
+	vals[semantics.TunnelID] = uint64(softnic.TunnelID(in))
+	vals[semantics.L4Port] = uint64(in.DstPort)
+	if vals[semantics.TunnelID] != 0 {
+		vals[semantics.DecapFlag] = 1
+	}
+	var errFlags uint64
+	if in.L3 == pkt.L3IPv4 && in.L3Off >= 0 {
+		hdr := in.Data[in.L3Off:]
+		ihl := int(hdr[0]&0x0F) * 4
+		if ihl >= pkt.IPv4MinLen && in.L3Off+ihl <= len(in.Data) && !pkt.VerifyIPv4Header(hdr[:ihl]) {
+			errFlags |= 1
+		}
+	}
+	if (in.L4 == pkt.L4TCP || in.L4 == pkt.L4UDP) && !pkt.VerifyL4(in) {
+		errFlags |= 2
+	}
+	vals[semantics.ErrorFlags] = errFlags
+	lvl := uint64(0)
+	if in.L3 == pkt.L3IPv4 {
+		lvl = 1
+	}
+	if in.L4 == pkt.L4TCP || in.L4 == pkt.L4UDP {
+		lvl = 2
+	}
+	vals[semantics.ChecksumAny] = lvl
+	depth := uint64(1)
+	if in.L3 != pkt.L3None {
+		depth++
+	}
+	if in.L4 != pkt.L4None {
+		depth++
+	}
+	vals[semantics.ParserDepth] = depth
+	return vals
+}
+
+// buildEnv maps every semantic-tagged field of the deparser's composite
+// parameters to its computed value, plus the context registers.
+func (d *Device) buildEnv(vals map[semantics.Name]uint64) sema.MapEnv {
+	env := d.envBuf
+	for k := range env {
+		delete(env, k)
+	}
+	for k, v := range d.ctx {
+		env[k] = v
+	}
+	for _, p := range d.metaParams {
+		ct := p.Type.(*sema.CompositeType)
+		d.fillEnv(env, p.Name, ct, vals)
+	}
+	return env
+}
+
+func (d *Device) fillEnv(env sema.MapEnv, prefix string, ct *sema.CompositeType, vals map[semantics.Name]uint64) {
+	for _, f := range ct.Fields {
+		name := prefix + "." + f.Name
+		if nested, ok := f.Type.(*sema.CompositeType); ok {
+			d.fillEnv(env, name, nested, vals)
+			continue
+		}
+		w := f.Type.BitWidth()
+		if w <= 0 || w > 64 {
+			continue // pads and oversized fields stay zero
+		}
+		var v uint64
+		if f.Semantic != "" {
+			v = vals[semantics.Name(f.Semantic)]
+			if w < 64 {
+				v &= (uint64(1) << w) - 1
+			}
+		}
+		env[name] = sema.UintValue(v, w)
+	}
+}
+
+// serializeCompletion walks the deparser CFG under env, writing emitted
+// fields into dst, and returns the completion size in bytes.
+func (d *Device) serializeCompletion(env sema.Env, dst []byte) (int, error) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	info := d.graph.Info()
+	node := d.graph.Entry
+	offBits := 0
+	steps := 0
+	for node.Kind != core.NodeExit {
+		if steps++; steps > 10000 {
+			return 0, fmt.Errorf("nicsim: deparser walk did not terminate")
+		}
+		if node.Kind == core.NodeEmit {
+			for _, f := range node.Emit.Fields {
+				if offBits+f.WidthBits > len(dst)*8 {
+					return 0, fmt.Errorf("nicsim: completion exceeds %d bytes", len(dst))
+				}
+				if f.WidthBits <= 64 {
+					var v uint64
+					if val, ok := env.Lookup(f.Name); ok {
+						v = val.Uint
+					}
+					bitfield.Write(dst, offBits, f.WidthBits, v)
+				}
+				// >64-bit fields (pads) stay zero.
+				offBits += f.WidthBits
+			}
+		}
+		next, err := d.step(node, env, info)
+		if err != nil {
+			return 0, err
+		}
+		node = next
+	}
+	return (offBits + 7) / 8, nil
+}
+
+// step picks the successor edge of a node under the concrete env.
+func (d *Device) step(node *core.Node, env sema.Env, info *sema.Info) (*core.Node, error) {
+	if len(node.Succs) == 1 && node.Succs[0].Cond == nil && len(node.Succs[0].CaseVals) == 0 && !node.Succs[0].IsDefault {
+		return node.Succs[0].To, nil
+	}
+	switch node.Kind {
+	case core.NodeBranch:
+		v, err := info.Eval(node.Cond, env)
+		if err != nil {
+			return nil, fmt.Errorf("nicsim: branch condition: %w", err)
+		}
+		for _, e := range node.Succs {
+			if v.Truthy() != e.Negate {
+				return e.To, nil
+			}
+		}
+		return nil, fmt.Errorf("nicsim: no matching branch edge")
+	case core.NodeSwitch:
+		tag, err := info.Eval(node.Tag, env)
+		if err != nil {
+			return nil, fmt.Errorf("nicsim: switch tag: %w", err)
+		}
+		var def *core.Edge
+		for _, e := range node.Succs {
+			if e.IsDefault {
+				def = e
+				continue
+			}
+			for _, cv := range e.CaseVals {
+				if cv.Equal(tag) {
+					return e.To, nil
+				}
+			}
+		}
+		if def != nil {
+			return def.To, nil
+		}
+		return nil, fmt.Errorf("nicsim: switch tag %v matches no case and no default", tag)
+	default:
+		if len(node.Succs) == 0 {
+			return nil, fmt.Errorf("nicsim: dead-end node %d (%s)", node.ID, node.Kind)
+		}
+		return node.Succs[0].To, nil
+	}
+}
+
+// RxBurst receives a batch of packets; returns how many were accepted.
+func (d *Device) RxBurst(packets [][]byte) int {
+	n := 0
+	for _, p := range packets {
+		if d.RxPacket(p) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package nicsim
+
+import (
+	"fmt"
+
+	"opendesc/internal/bitfield"
+	"opendesc/internal/core"
+	"opendesc/internal/semantics"
+)
+
+// TxResult is the device-side interpretation of one posted TX descriptor:
+// the offload intent the host conveyed, as the NIC's DescParser decoded it.
+type TxResult struct {
+	Layout *core.TxLayout
+	// Values maps each semantic-tagged descriptor field to its value.
+	Values map[semantics.Name]uint64
+	// Raw maps every field (by qualified name) to its value, semantic or not.
+	Raw map[string]uint64
+}
+
+// ActiveTxLayout returns the TX descriptor format the current context
+// registers select, mirroring ActivePath for the RX direction.
+func (d *Device) ActiveTxLayout() (*core.TxLayout, error) {
+	layouts, err := d.Model.TxLayouts()
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range layouts {
+		ok := true
+		for _, c := range l.Constraints {
+			got := d.ctx[c.Var]
+			if c.Equal != got.Equal(c.Val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("nicsim %s: no TX layout matches context %v", d.Model.Name, d.ctx)
+}
+
+// TxSubmit makes the device consume one host-posted TX descriptor: it runs
+// the DescParser-derived layout over the raw bytes ("raw memory mapped
+// through DMA and converted into structured fields") and returns the decoded
+// intent.
+func (d *Device) TxSubmit(desc []byte) (*TxResult, error) {
+	layout, err := d.ActiveTxLayout()
+	if err != nil {
+		return nil, err
+	}
+	if need := layout.SizeBytes(); len(desc) < need {
+		return nil, fmt.Errorf("nicsim %s: TX descriptor %dB shorter than layout %dB", d.Model.Name, len(desc), need)
+	}
+	res := &TxResult{
+		Layout: layout,
+		Values: make(map[semantics.Name]uint64),
+		Raw:    make(map[string]uint64, len(layout.Fields)),
+	}
+	for _, f := range layout.Fields {
+		if f.WidthBits > 64 {
+			continue
+		}
+		v := bitfield.Read(desc, f.OffsetBits, f.WidthBits)
+		res.Raw[f.Name] = v
+		if f.Semantic != "" {
+			res.Values[f.Semantic] = v
+		}
+	}
+	return res, nil
+}
+
+// BuildTxDescriptor serializes host intent values into the active TX layout
+// (the host-side mirror of TxSubmit, used by examples and tests).
+func (d *Device) BuildTxDescriptor(values map[semantics.Name]uint64, raw map[string]uint64) ([]byte, error) {
+	layout, err := d.ActiveTxLayout()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, layout.SizeBytes())
+	for _, f := range layout.Fields {
+		if f.WidthBits > 64 {
+			continue
+		}
+		var v uint64
+		var ok bool
+		if raw != nil {
+			v, ok = raw[f.Name]
+		}
+		if !ok && f.Semantic != "" && values != nil {
+			v, ok = values[f.Semantic]
+		}
+		if !ok {
+			continue
+		}
+		bitfield.Write(buf, f.OffsetBits, f.WidthBits, v)
+	}
+	return buf, nil
+}

@@ -1,0 +1,208 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"opendesc/internal/p4/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	src := `header h { bit<32> rss_val; }`
+	got := kinds(New("t.p4", src).All())
+	want := []token.Kind{
+		token.HEADER, token.IDENT, token.LBRACE,
+		token.BIT, token.LANGLE, token.INT, token.RANGLE,
+		token.IDENT, token.SEMI, token.RBRACE,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"<<": token.SHL, ">>": token.SHR, "<=": token.LE, ">=": token.GE,
+		"==": token.EQ, "!=": token.NEQ, "&&": token.LAND, "||": token.LOR,
+		"++": token.PLUSPLUS, "..": token.DOTDOT, "@": token.AT,
+		"~": token.TILDE, "^": token.CARET, "?": token.QUESTION,
+	}
+	for src, want := range cases {
+		toks := New("t.p4", src).All()
+		if len(toks) != 1 || toks[0].Kind != want {
+			t.Errorf("lex(%q) = %v, want single %s", src, toks, want)
+		}
+	}
+}
+
+func TestIntegerLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"42", token.INT},
+		{"0x1F", token.INT},
+		{"0b1010", token.INT},
+		{"0o17", token.INT},
+		{"1_000_000", token.INT},
+		{"8w255", token.WIDTHINT},
+		{"8w0xFF", token.WIDTHINT},
+		{"4s7", token.WIDTHINT},
+		{"32w0b1111", token.WIDTHINT},
+	}
+	for _, c := range cases {
+		toks := New("t.p4", c.src).All()
+		if len(toks) != 1 {
+			t.Errorf("lex(%q): got %d tokens %v, want 1", c.src, len(toks), toks)
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.src {
+			t.Errorf("lex(%q) = %v, want %s(%q)", c.src, toks[0], c.kind, c.src)
+		}
+	}
+}
+
+func TestMalformedNumbers(t *testing.T) {
+	l := New("t.p4", "0x")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("0x should produce a lexical error")
+	}
+	l2 := New("t.p4", "8w")
+	l2.All()
+	if len(l2.Errors()) == 0 {
+		t.Error("8w should produce a lexical error")
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks := New("t.p4", `@semantic("rss")`).All()
+	if len(toks) != 5 {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[3].Kind != token.STRING || toks[3].Lit != "rss" {
+		t.Errorf("string literal = %v, want STRING(rss)", toks[3])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := New("t.p4", `"a\n\t\"b\\"`).All()
+	if len(toks) != 1 || toks[0].Lit != "a\n\t\"b\\" {
+		t.Errorf("got %q", toks[0].Lit)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t.p4", "\"abc\n")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("unterminated string should error")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a // line comment\nb /* block\ncomment */ c"
+	toks := New("t.p4", src).All()
+	if len(toks) != 3 {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	l := New("t.p4", src)
+	l.KeepComments = true
+	if n := len(l.All()); n != 5 {
+		t.Errorf("KeepComments: got %d tokens, want 5", n)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	l := New("t.p4", "/* never ends")
+	l.KeepComments = true
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestPreprocessorSkipped(t *testing.T) {
+	src := "#include <core.p4>\nheader h { }"
+	toks := New("t.p4", src).All()
+	if toks[0].Kind != token.HEADER {
+		t.Errorf("preproc line not skipped: first token %v", toks[0])
+	}
+	l := New("t.p4", src)
+	l.KeepPreproc = true
+	toks = l.All()
+	if toks[0].Kind != token.PREPROC || !strings.HasPrefix(toks[0].Lit, "#include") {
+		t.Errorf("KeepPreproc: first token %v", toks[0])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "header\n  foo"
+	toks := New("t.p4", src).All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token pos = %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "t.p4" {
+		t.Errorf("file = %q", toks[1].Pos.File)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	l := New("t.p4", "a $ b")
+	toks := l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for '$'")
+	}
+	// Lexer must keep going after an illegal character.
+	if len(toks) != 3 {
+		t.Errorf("got %v", toks)
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks := New("t.p4", "control controls transition transitions").All()
+	want := []token.Kind{token.CONTROL, token.IDENT, token.TRANSITION, token.IDENT}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("t.p4", "")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+func TestDotVsDotDot(t *testing.T) {
+	toks := New("t.p4", "a.b 0..5").All()
+	want := []token.Kind{token.IDENT, token.DOT, token.IDENT, token.INT, token.DOTDOT, token.INT}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}

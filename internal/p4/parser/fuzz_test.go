@@ -1,0 +1,70 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"opendesc/internal/p4/ast"
+)
+
+// FuzzParse asserts the parser's robustness invariants on arbitrary input:
+// it never panics, always terminates, and when it accepts a program, the
+// canonical printing re-parses to the same canonical printing (print is a
+// fixed point). Seeds cover every construct; `go test` runs the seeds,
+// `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"header h { bit<8> a; }",
+		"struct s { bool b; varbit<64> v; }",
+		"const bit<16> K = 0x8100;",
+		"typedef bit<48> mac_t;",
+		"enum bit<2> e { A = 0, B = 1 }",
+		"enum colors { RED, GREEN }",
+		"@semantic(\"rss\") header h { bit<32> x; }",
+		"control C(in bit<8> x) { apply { if (x == 1) { } else { } } }",
+		"control C<T>(in T t) { apply { switch (t) { 1: { } default: { } } } }",
+		"parser P(in bit<8> x) { state start { transition select(x) { 0: accept; 1..5: a; _: reject; } } state a { transition accept; } }",
+		"parser P(desc_in d, out bit<8> o) { state start { d.extract(o); transition accept; } }",
+		"control C(inout bit<32> x) { bit<32> t = 0; action a(bit<8> p) { x = x + 1; } apply { a(2); } }",
+		"const bit<64> K = 8w0xFF ++ 8w1;",
+		"const bool B = (1 == 1) ? true : false;",
+		"const bit<8> S = K[7:0];",
+		"extern void log(in bit<8> x);",
+		"package Pipe(P p);",
+		"#include <core.p4>\nheader h { bit<8> a; }",
+		"header h { bit<> broken; }",
+		"control C { apply",
+		"}}}{{{",
+		"@a @b(1,\"s\") control C() { apply { } }",
+		"header \xff\xfe { }",
+		"const int K = -5;",
+		"control C() { apply { return; ; } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Bound pathological inputs so the fuzzer doesn't time out on
+		// megabyte identifiers.
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		prog, err := Parse("fuzz.p4", src)
+		if err != nil {
+			return // rejected input is fine; not panicking is the property
+		}
+		printed := ast.SprintProgram(prog)
+		prog2, err := Parse("printed.p4", printed)
+		if err != nil {
+			t.Fatalf("canonical printing does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		printed2 := ast.SprintProgram(prog2)
+		if printed != printed2 {
+			t.Fatalf("printing is not a fixed point\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+		}
+		if strings.Count(printed, "{") != strings.Count(printed, "}") {
+			t.Fatalf("unbalanced canonical printing:\n%s", printed)
+		}
+	})
+}

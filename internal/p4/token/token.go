@@ -1,0 +1,212 @@
+// Package token defines the lexical tokens of the P4-16 subset understood by
+// the OpenDesc compiler, along with source-position bookkeeping shared by the
+// lexer, parser and diagnostics.
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds.
+type Kind int
+
+// Token kinds. Literal kinds carry their text in Token.Lit.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT // // ... or /* ... */ (only surfaced when lexer.KeepComments)
+
+	literalBeg
+	IDENT    // descriptor
+	INT      // 42, 0x1F
+	WIDTHINT // 8w0x1F, 4s15
+	STRING   // "rss"
+	PREPROC  // #include <...> (whole line, normally skipped)
+	literalEnd
+
+	operatorBeg
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	LANGLE   // <
+	RANGLE   // >
+	SHL      // <<
+	SHR      // >>
+	LE       // <=
+	GE       // >=
+	EQ       // ==
+	NEQ      // !=
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	NOT      // !
+	LAND     // &&
+	LOR      // ||
+	DOT      // .
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	AT       // @
+	PLUSPLUS // ++ (P4 concatenation)
+	DOTDOT   // .. (range in select cases, as in 0x10..0x1F)
+	operatorEnd
+
+	keywordBeg
+	ACTION
+	APPLY
+	BIT
+	BOOL
+	CONST
+	CONTROL
+	DEFAULT
+	ELSE
+	ENUM
+	ERROR
+	EXTERN
+	FALSE
+	HEADER
+	IF
+	IN
+	INOUT
+	INT_T // "int" type keyword
+	OUT
+	PACKAGE
+	PARSER
+	RETURN
+	SELECT
+	STATE
+	STRUCT
+	SWITCH
+	TRANSITION
+	TRUE
+	TYPEDEF
+	VARBIT
+	VOID
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", COMMENT: "COMMENT",
+	IDENT: "IDENT", INT: "INT", WIDTHINT: "WIDTHINT", STRING: "STRING", PREPROC: "PREPROC",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	LANGLE: "<", RANGLE: ">", SHL: "<<", SHR: ">>", LE: "<=", GE: ">=",
+	EQ: "==", NEQ: "!=", ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", TILDE: "~",
+	NOT: "!", LAND: "&&", LOR: "||", DOT: ".", COMMA: ",", SEMI: ";",
+	COLON: ":", QUESTION: "?", AT: "@", PLUSPLUS: "++", DOTDOT: "..",
+	ACTION: "action", APPLY: "apply", BIT: "bit", BOOL: "bool", CONST: "const",
+	CONTROL: "control", DEFAULT: "default", ELSE: "else", ENUM: "enum",
+	ERROR: "error", EXTERN: "extern", FALSE: "false", HEADER: "header",
+	IF: "if", IN: "in", INOUT: "inout", INT_T: "int", OUT: "out",
+	PACKAGE: "package", PARSER: "parser", RETURN: "return", SELECT: "select",
+	STATE: "state", STRUCT: "struct", SWITCH: "switch", TRANSITION: "transition",
+	TRUE: "true", TYPEDEF: "typedef", VARBIT: "varbit", VOID: "void",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsLiteral reports whether the kind is a literal token.
+func (k Kind) IsLiteral() bool { return k > literalBeg && k < literalEnd }
+
+// IsOperator reports whether the kind is an operator or delimiter.
+func (k Kind) IsOperator() bool { return k > operatorBeg && k < operatorEnd }
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = map[string]Kind{
+	"action": ACTION, "apply": APPLY, "bit": BIT, "bool": BOOL,
+	"const": CONST, "control": CONTROL, "default": DEFAULT, "else": ELSE,
+	"enum": ENUM, "error": ERROR, "extern": EXTERN, "false": FALSE,
+	"header": HEADER, "if": IF, "in": IN, "inout": INOUT, "int": INT_T,
+	"out": OUT, "package": PACKAGE, "parser": PARSER, "return": RETURN,
+	"select": SELECT, "state": STATE, "struct": STRUCT, "switch": SWITCH,
+	"transition": TRANSITION, "true": TRUE, "typedef": TYPEDEF,
+	"varbit": VARBIT, "void": VOID,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position (1-based line and column, 0-based byte offset).
+type Pos struct {
+	File   string
+	Offset int
+	Line   int
+	Col    int
+}
+
+// IsValid reports whether the position carries real location data.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, WIDTHINT, STRING, COMMENT, PREPROC
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Lit != "" && t.Kind != EOF {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence for the kind, with higher
+// binding tighter, or 0 if the kind is not a binary operator. The ladder
+// follows the P4-16 specification (which matches C for the shared operators).
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case PIPE:
+		return 3
+	case CARET:
+		return 4
+	case AMP:
+		return 5
+	case EQ, NEQ:
+		return 6
+	case LANGLE, RANGLE, LE, GE:
+		return 7
+	case SHL, SHR:
+		return 8
+	case PLUS, MINUS, PLUSPLUS:
+		return 9
+	case STAR, SLASH, PERCENT:
+		return 10
+	}
+	return 0
+}

@@ -1,0 +1,199 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Builder assembles test/workload packets. All With* methods return the
+// builder for chaining; Build produces a fresh byte slice.
+type Builder struct {
+	srcMAC, dstMAC [6]byte
+	vlanTCIs       []uint16
+	ipv6           bool
+	srcIP, dstIP   [16]byte
+	proto          uint8
+	srcPort        uint16
+	dstPort        uint16
+	tcpFlags       uint8
+	ipID           uint16
+	ttl            uint8
+	payload        []byte
+	badIPCsum      bool
+	badL4Csum      bool
+}
+
+// NewBuilder returns a builder with sane defaults (IPv4 UDP 10.0.0.1→10.0.0.2,
+// ports 1000→2000, TTL 64).
+func NewBuilder() *Builder {
+	b := &Builder{
+		srcMAC:  [6]byte{0x02, 0, 0, 0, 0, 1},
+		dstMAC:  [6]byte{0x02, 0, 0, 0, 0, 2},
+		proto:   ProtoUDP,
+		srcPort: 1000,
+		dstPort: 2000,
+		ttl:     64,
+	}
+	copy(b.srcIP[:4], []byte{10, 0, 0, 1})
+	copy(b.dstIP[:4], []byte{10, 0, 0, 2})
+	return b
+}
+
+// WithVLAN appends a VLAN tag (outer first).
+func (b *Builder) WithVLAN(tci uint16) *Builder {
+	b.vlanTCIs = append(b.vlanTCIs, tci)
+	return b
+}
+
+// WithIPv4 sets IPv4 addressing.
+func (b *Builder) WithIPv4(src, dst [4]byte) *Builder {
+	b.ipv6 = false
+	b.srcIP = [16]byte{}
+	b.dstIP = [16]byte{}
+	copy(b.srcIP[:4], src[:])
+	copy(b.dstIP[:4], dst[:])
+	return b
+}
+
+// WithIPv6 sets IPv6 addressing.
+func (b *Builder) WithIPv6(src, dst [16]byte) *Builder {
+	b.ipv6 = true
+	b.srcIP = src
+	b.dstIP = dst
+	return b
+}
+
+// WithTCP selects TCP with the given ports and flags.
+func (b *Builder) WithTCP(src, dst uint16, flags uint8) *Builder {
+	b.proto = ProtoTCP
+	b.srcPort, b.dstPort, b.tcpFlags = src, dst, flags
+	return b
+}
+
+// WithUDP selects UDP with the given ports.
+func (b *Builder) WithUDP(src, dst uint16) *Builder {
+	b.proto = ProtoUDP
+	b.srcPort, b.dstPort = src, dst
+	return b
+}
+
+// WithPayload sets the L4 payload.
+func (b *Builder) WithPayload(p []byte) *Builder {
+	b.payload = p
+	return b
+}
+
+// WithIPID sets the IPv4 identification field.
+func (b *Builder) WithIPID(id uint16) *Builder {
+	b.ipID = id
+	return b
+}
+
+// WithBadIPChecksum corrupts the IPv4 header checksum (for error-path tests).
+func (b *Builder) WithBadIPChecksum() *Builder {
+	b.badIPCsum = true
+	return b
+}
+
+// WithBadL4Checksum corrupts the TCP/UDP checksum.
+func (b *Builder) WithBadL4Checksum() *Builder {
+	b.badL4Csum = true
+	return b
+}
+
+// Build serializes the packet.
+func (b *Builder) Build() []byte {
+	l3len := IPv4MinLen
+	if b.ipv6 {
+		l3len = IPv6HeaderLen
+	}
+	l4len := UDPHeaderLen
+	if b.proto == ProtoTCP {
+		l4len = TCPMinLen
+	}
+	total := EthHeaderLen + len(b.vlanTCIs)*VLANTagLen + l3len + l4len + len(b.payload)
+	buf := make([]byte, total)
+
+	// Ethernet.
+	copy(buf[0:6], b.dstMAC[:])
+	copy(buf[6:12], b.srcMAC[:])
+	off := 12
+	for i, tci := range b.vlanTCIs {
+		et := EtherTypeVLAN
+		if len(b.vlanTCIs) == 2 && i == 0 {
+			et = EtherTypeQinQ
+		}
+		binary.BigEndian.PutUint16(buf[off:], et)
+		off += 2
+		binary.BigEndian.PutUint16(buf[off:], tci)
+		off += 2
+	}
+	if b.ipv6 {
+		binary.BigEndian.PutUint16(buf[off:], EtherTypeIPv6)
+	} else {
+		binary.BigEndian.PutUint16(buf[off:], EtherTypeIPv4)
+	}
+	off += 2
+
+	l3Off := off
+	if b.ipv6 {
+		buf[off] = 6 << 4
+		binary.BigEndian.PutUint16(buf[off+4:], uint16(l4len+len(b.payload)))
+		buf[off+6] = b.proto
+		buf[off+7] = b.ttl
+		copy(buf[off+8:], b.srcIP[:])
+		copy(buf[off+24:], b.dstIP[:])
+		off += IPv6HeaderLen
+	} else {
+		buf[off] = 4<<4 | 5
+		binary.BigEndian.PutUint16(buf[off+2:], uint16(l3len+l4len+len(b.payload)))
+		binary.BigEndian.PutUint16(buf[off+4:], b.ipID)
+		buf[off+8] = b.ttl
+		buf[off+9] = b.proto
+		copy(buf[off+12:], b.srcIP[:4])
+		copy(buf[off+16:], b.dstIP[:4])
+		csum := IPv4HeaderChecksum(buf[off : off+IPv4MinLen])
+		if b.badIPCsum {
+			csum ^= 0xBEEF
+		}
+		binary.BigEndian.PutUint16(buf[off+10:], csum)
+		off += IPv4MinLen
+	}
+
+	l4Off := off
+	if b.proto == ProtoTCP {
+		binary.BigEndian.PutUint16(buf[off:], b.srcPort)
+		binary.BigEndian.PutUint16(buf[off+2:], b.dstPort)
+		buf[off+12] = 5 << 4 // data offset: 5 words
+		buf[off+13] = b.tcpFlags
+		binary.BigEndian.PutUint16(buf[off+14:], 0xFFFF) // window
+		off += TCPMinLen
+	} else {
+		binary.BigEndian.PutUint16(buf[off:], b.srcPort)
+		binary.BigEndian.PutUint16(buf[off+2:], b.dstPort)
+		binary.BigEndian.PutUint16(buf[off+4:], uint16(UDPHeaderLen+len(b.payload)))
+		off += UDPHeaderLen
+	}
+	copy(buf[off:], b.payload)
+
+	// L4 checksum over the finished packet.
+	var info Info
+	if err := Decode(buf, &info); err != nil {
+		panic(fmt.Sprintf("pkt.Builder produced undecodable packet: %v", err))
+	}
+	if csum, ok := L4Checksum(&info); ok {
+		if b.badL4Csum {
+			csum ^= 0xDEAD
+		}
+		if csum == 0 {
+			csum = 0xFFFF // RFC 768: transmitted as all ones
+		}
+		csumOff := l4Off + 16
+		if b.proto == ProtoUDP {
+			csumOff = l4Off + 6
+		}
+		binary.BigEndian.PutUint16(buf[csumOff:], csum)
+	}
+	_ = l3Off
+	return buf
+}

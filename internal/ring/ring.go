@@ -1,0 +1,219 @@
+// Package ring implements the shared-memory descriptor queues over which a
+// host and a (simulated) NIC exchange fixed-size records — the "structured
+// memory regions shared via DMA" of the paper. A Ring is a single-producer,
+// single-consumer circular buffer of fixed-size entries backed by one flat
+// byte slice, with head/tail indices mirroring hardware ring semantics
+// (including wrap-around and full/empty distinction via index arithmetic).
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a SPSC circular queue of fixed-size byte records.
+type Ring struct {
+	mem       []byte
+	entrySize int
+	capacity  uint32 // number of entries, power of two
+	mask      uint32
+
+	// head is the consumer index, tail the producer index; both increase
+	// monotonically and are reduced modulo capacity on access. Atomic so a
+	// simulated device goroutine and a host goroutine can share the ring.
+	head atomic.Uint32
+	tail atomic.Uint32
+}
+
+// New creates a ring with the given entry size and capacity (rounded up to a
+// power of two, minimum 2).
+func New(entrySize, capacity int) (*Ring, error) {
+	if entrySize <= 0 {
+		return nil, fmt.Errorf("ring: entry size %d must be positive", entrySize)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ring: capacity %d must be positive", capacity)
+	}
+	c := uint32(2)
+	for int(c) < capacity {
+		c <<= 1
+	}
+	return &Ring{
+		mem:       make([]byte, int(c)*entrySize),
+		entrySize: entrySize,
+		capacity:  c,
+		mask:      c - 1,
+	}, nil
+}
+
+// MustNew panics on invalid parameters.
+func MustNew(entrySize, capacity int) *Ring {
+	r, err := New(entrySize, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EntrySize returns the record size in bytes.
+func (r *Ring) EntrySize() int { return r.entrySize }
+
+// Capacity returns the number of entry slots.
+func (r *Ring) Capacity() int { return int(r.capacity) }
+
+// Len returns the number of filled entries.
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Free returns the number of empty slots.
+func (r *Ring) Free() int { return int(r.capacity) - r.Len() }
+
+// slot returns the backing bytes of an absolute index.
+func (r *Ring) slot(idx uint32) []byte {
+	off := int(idx&r.mask) * r.entrySize
+	return r.mem[off : off+r.entrySize]
+}
+
+// Produce reserves the next entry, passes its backing slice to fill (which
+// writes the record in place — the DMA write), and publishes it. It returns
+// false when the ring is full.
+func (r *Ring) Produce(fill func(entry []byte)) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= r.capacity {
+		return false
+	}
+	fill(r.slot(tail))
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Push copies rec into the next entry. rec longer than the entry size is an
+// error; shorter records are zero-padded.
+func (r *Ring) Push(rec []byte) bool {
+	if len(rec) > r.entrySize {
+		panic(fmt.Sprintf("ring: record %dB exceeds entry size %dB", len(rec), r.entrySize))
+	}
+	return r.Produce(func(e []byte) {
+		n := copy(e, rec)
+		for i := n; i < len(e); i++ {
+			e[i] = 0
+		}
+	})
+}
+
+// Consume passes the oldest entry to use and releases it; returns false when
+// the ring is empty. The slice passed to use is only valid during the call.
+func (r *Ring) Consume(use func(entry []byte)) bool {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return false
+	}
+	use(r.slot(head))
+	r.head.Store(head + 1)
+	return true
+}
+
+// Peek returns the oldest entry without releasing it (nil when empty). The
+// returned slice stays valid until the entry is consumed or overwritten.
+func (r *Ring) Peek() []byte {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil
+	}
+	return r.slot(head)
+}
+
+// Pop releases the oldest entry after a Peek; it reports whether an entry was
+// released.
+func (r *Ring) Pop() bool {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return false
+	}
+	r.head.Store(head + 1)
+	return true
+}
+
+// ConsumeBatch drains up to max entries, calling use for each, and returns
+// how many were consumed. This mirrors driver RX-burst processing.
+func (r *Ring) ConsumeBatch(max int, use func(i int, entry []byte)) int {
+	head := r.head.Load()
+	avail := int(r.tail.Load() - head)
+	if avail == 0 {
+		return 0
+	}
+	if max > 0 && avail > max {
+		avail = max
+	}
+	for i := 0; i < avail; i++ {
+		use(i, r.slot(head+uint32(i)))
+	}
+	r.head.Store(head + uint32(avail))
+	return avail
+}
+
+// Reset empties the ring.
+func (r *Ring) Reset() {
+	r.head.Store(0)
+	r.tail.Store(0)
+}
+
+// BufferPool is a fixed pool of equally sized packet buffers indexed like a
+// hardware RX buffer area: the host posts buffer indices, the NIC DMAs packet
+// bytes into them, and completion records reference the slot.
+type BufferPool struct {
+	mem     []byte
+	bufSize int
+	lens    []int
+	count   int
+}
+
+// NewBufferPool allocates count buffers of bufSize bytes.
+func NewBufferPool(bufSize, count int) (*BufferPool, error) {
+	if bufSize <= 0 || count <= 0 {
+		return nil, fmt.Errorf("ring: invalid buffer pool %dx%dB", count, bufSize)
+	}
+	return &BufferPool{
+		mem:     make([]byte, bufSize*count),
+		bufSize: bufSize,
+		lens:    make([]int, count),
+		count:   count,
+	}, nil
+}
+
+// MustNewBufferPool panics on invalid parameters.
+func MustNewBufferPool(bufSize, count int) *BufferPool {
+	p, err := NewBufferPool(bufSize, count)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Count returns the number of buffers.
+func (p *BufferPool) Count() int { return p.count }
+
+// BufSize returns each buffer's capacity.
+func (p *BufferPool) BufSize() int { return p.bufSize }
+
+// Write DMAs data into buffer slot idx and records its length.
+func (p *BufferPool) Write(idx int, data []byte) error {
+	if idx < 0 || idx >= p.count {
+		return fmt.Errorf("ring: buffer index %d out of range", idx)
+	}
+	if len(data) > p.bufSize {
+		return fmt.Errorf("ring: packet %dB exceeds buffer size %dB", len(data), p.bufSize)
+	}
+	copy(p.mem[idx*p.bufSize:], data)
+	p.lens[idx] = len(data)
+	return nil
+}
+
+// Bytes returns the filled bytes of buffer slot idx.
+func (p *BufferPool) Bytes(idx int) []byte {
+	if idx < 0 || idx >= p.count {
+		return nil
+	}
+	return p.mem[idx*p.bufSize : idx*p.bufSize+p.lens[idx]]
+}

@@ -1,0 +1,261 @@
+package ring
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsToPowerOfTwo(t *testing.T) {
+	r := MustNew(8, 5)
+	if r.Capacity() != 8 {
+		t.Errorf("capacity = %d, want 8", r.Capacity())
+	}
+	if r.EntrySize() != 8 {
+		t.Errorf("entry size = %d", r.EntrySize())
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero entry size accepted")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestPushConsumeFIFO(t *testing.T) {
+	r := MustNew(4, 8)
+	for i := 0; i < 5; i++ {
+		if !r.Push([]byte{byte(i), 0xAA}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Len() != 5 {
+		t.Errorf("len = %d", r.Len())
+	}
+	for i := 0; i < 5; i++ {
+		ok := r.Consume(func(e []byte) {
+			if e[0] != byte(i) || e[1] != 0xAA {
+				t.Errorf("entry %d = %v", i, e[:2])
+			}
+			// Short records must be zero padded.
+			if e[2] != 0 || e[3] != 0 {
+				t.Errorf("entry %d not padded: %v", i, e)
+			}
+		})
+		if !ok {
+			t.Fatalf("consume %d failed", i)
+		}
+	}
+	if r.Consume(func([]byte) {}) {
+		t.Error("consume on empty ring succeeded")
+	}
+}
+
+func TestFullRing(t *testing.T) {
+	r := MustNew(2, 4)
+	for i := 0; i < 4; i++ {
+		if !r.Push([]byte{byte(i)}) {
+			t.Fatalf("push %d", i)
+		}
+	}
+	if r.Push([]byte{9}) {
+		t.Error("push on full ring succeeded")
+	}
+	if r.Free() != 0 {
+		t.Errorf("free = %d", r.Free())
+	}
+	r.Consume(func([]byte) {})
+	if !r.Push([]byte{9}) {
+		t.Error("push after consume failed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := MustNew(1, 4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push([]byte{byte(round*3 + i)}) {
+				t.Fatalf("round %d push %d", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			want := byte(round*3 + i)
+			r.Consume(func(e []byte) {
+				if e[0] != want {
+					t.Errorf("got %d, want %d", e[0], want)
+				}
+			})
+		}
+	}
+}
+
+func TestPeekPop(t *testing.T) {
+	r := MustNew(2, 2)
+	if r.Peek() != nil {
+		t.Error("peek on empty should be nil")
+	}
+	if r.Pop() {
+		t.Error("pop on empty should fail")
+	}
+	r.Push([]byte{7, 8})
+	e := r.Peek()
+	if !bytes.Equal(e, []byte{7, 8}) {
+		t.Errorf("peek = %v", e)
+	}
+	if r.Len() != 1 {
+		t.Error("peek must not consume")
+	}
+	if !r.Pop() || r.Len() != 0 {
+		t.Error("pop failed")
+	}
+}
+
+func TestProduceInPlace(t *testing.T) {
+	r := MustNew(4, 2)
+	ok := r.Produce(func(e []byte) {
+		e[0], e[3] = 0xDE, 0xAD
+	})
+	if !ok {
+		t.Fatal("produce failed")
+	}
+	r.Consume(func(e []byte) {
+		if e[0] != 0xDE || e[3] != 0xAD {
+			t.Errorf("in-place fill lost: %v", e)
+		}
+	})
+}
+
+func TestConsumeBatch(t *testing.T) {
+	r := MustNew(1, 16)
+	for i := 0; i < 10; i++ {
+		r.Push([]byte{byte(i)})
+	}
+	var got []byte
+	n := r.ConsumeBatch(4, func(i int, e []byte) { got = append(got, e[0]) })
+	if n != 4 || !bytes.Equal(got, []byte{0, 1, 2, 3}) {
+		t.Errorf("batch = %d %v", n, got)
+	}
+	n = r.ConsumeBatch(0, func(i int, e []byte) {})
+	if n != 6 {
+		t.Errorf("unbounded batch = %d, want 6", n)
+	}
+	if r.ConsumeBatch(4, func(int, []byte) {}) != 0 {
+		t.Error("batch on empty should be 0")
+	}
+}
+
+func TestPushOversizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized push should panic")
+		}
+	}()
+	MustNew(2, 2).Push([]byte{1, 2, 3})
+}
+
+func TestReset(t *testing.T) {
+	r := MustNew(1, 4)
+	r.Push([]byte{1})
+	r.Reset()
+	if r.Len() != 0 || r.Peek() != nil {
+		t.Error("reset did not empty the ring")
+	}
+}
+
+// TestSPSCConcurrent exercises the single-producer single-consumer contract
+// across goroutines: every record arrives exactly once, in order.
+func TestSPSCConcurrent(t *testing.T) {
+	r := MustNew(2, 64)
+	const n = 10000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan string, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.Push([]byte{byte(i), byte(i >> 8)}) {
+				i++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			ok := r.Consume(func(e []byte) {
+				got := int(e[0]) | int(e[1])<<8
+				if got != i&0xFFFF {
+					select {
+					case errs <- "out of order":
+					default:
+					}
+				}
+			})
+			if ok {
+				i++
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+// Property: a random push/consume schedule never loses or duplicates records.
+func TestQuickSchedule(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := MustNew(2, 8)
+		next := 0   // next value to push
+		expect := 0 // next value to consume
+		for _, push := range ops {
+			if push {
+				if r.Push([]byte{byte(next), byte(next >> 8)}) {
+					next++
+				}
+			} else {
+				r.Consume(func(e []byte) {
+					got := int(e[0]) | int(e[1])<<8
+					if got != expect&0xFFFF {
+						panic("order violation")
+					}
+					expect++
+				})
+			}
+		}
+		return expect <= next && r.Len() == next-expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferPool(t *testing.T) {
+	p := MustNewBufferPool(64, 4)
+	if p.Count() != 4 || p.BufSize() != 64 {
+		t.Fatalf("pool = %dx%d", p.Count(), p.BufSize())
+	}
+	if err := p.Write(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Bytes(1)) != "hello" {
+		t.Errorf("bytes = %q", p.Bytes(1))
+	}
+	if p.Bytes(0) == nil || len(p.Bytes(0)) != 0 {
+		t.Errorf("unwritten slot should be empty, got %v", p.Bytes(0))
+	}
+	if err := p.Write(4, []byte("x")); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := p.Write(0, make([]byte, 65)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	if p.Bytes(-1) != nil {
+		t.Error("negative index should be nil")
+	}
+}

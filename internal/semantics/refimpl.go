@@ -1,0 +1,165 @@
+package semantics
+
+import "sync"
+
+// The paper proposes that "each offload feature ... come with a reference P4
+// implementation. If hardware lacks capability, OpenDesc can delegate to
+// software ... For programmable NICs, missing features can therefore be
+// pushed to the NIC using one of the numerous P4-to-device compilers."
+//
+// This file holds that reference-implementation library: per semantic, a P4
+// control fragment computing the value into the pipeline metadata, plus a
+// resource estimate used by offload planning (programmable NICs have
+// constrained resources, §5 "Performance and programmable constraint").
+
+// RefImpl is a reference P4 implementation of one semantic.
+type RefImpl struct {
+	Semantic Name
+	// P4 is the control fragment computing the semantic into meta.<field>.
+	P4 string
+	// Stages is the estimated match-action stage usage when compiled to a
+	// pipeline.
+	Stages int
+	// NeedsPayload marks features that must inspect payload bytes, which
+	// RMT-style pipelines cannot do (only externs/accelerators can).
+	NeedsPayload bool
+}
+
+var (
+	refMu   sync.RWMutex
+	refImpl = map[Name]RefImpl{}
+)
+
+// RegisterRef adds or replaces a reference implementation.
+func RegisterRef(r RefImpl) {
+	refMu.Lock()
+	defer refMu.Unlock()
+	refImpl[r.Semantic] = r
+}
+
+// Ref returns the reference implementation for a semantic, if any.
+func Ref(n Name) (RefImpl, bool) {
+	refMu.RLock()
+	defer refMu.RUnlock()
+	r, ok := refImpl[n]
+	return r, ok
+}
+
+// RefSemantics lists all semantics with reference implementations.
+func RefSemantics() []Name {
+	refMu.RLock()
+	defer refMu.RUnlock()
+	out := make([]Name, 0, len(refImpl))
+	for n := range refImpl {
+		out = append(out, n)
+	}
+	return out
+}
+
+func init() {
+	for _, r := range []RefImpl{
+		{
+			Semantic: RSS,
+			Stages:   2,
+			P4: `control ref_rss(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        // Toeplitz over the 5-tuple via the hash extern.
+        meta.rss = toeplitz_hash(hdr.ipv4.src_addr, hdr.ipv4.dst_addr,
+                                 hdr.l4.src_port, hdr.l4.dst_port);
+    }
+}`,
+		},
+		{
+			Semantic: IPChecksum,
+			Stages:   1,
+			P4: `control ref_ip_checksum(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        meta.ip_checksum = csum16(hdr.ipv4);
+    }
+}`,
+		},
+		{
+			Semantic: L4Checksum,
+			Stages:   1,
+			// L4 checksums cover the payload: needs the checksum engine, not
+			// the match-action stages, but remains pipeline-offloadable.
+			P4: `control ref_l4_checksum(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        meta.l4_checksum = csum16_payload(hdr.l4);
+    }
+}`,
+		},
+		{
+			Semantic: VLAN,
+			Stages:   1,
+			P4: `control ref_vlan(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        if (hdr.vlan.isValid()) { meta.vlan = hdr.vlan.tci; }
+    }
+}`,
+		},
+		{
+			Semantic: PType,
+			Stages:   1,
+			P4: `control ref_ptype(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        meta.ptype = (bit<8>) hdr.l3_kind ++ (bit<4>) hdr.l4_kind;
+    }
+}`,
+		},
+		{
+			Semantic: FlowID,
+			Stages:   3,
+			P4: `control ref_flow_id(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        // Exact-match flow table with learn-on-miss.
+        meta.flow_id = flow_table_lookup(hdr.ipv4.src_addr, hdr.ipv4.dst_addr,
+                                         hdr.l4.src_port, hdr.l4.dst_port,
+                                         hdr.ipv4.protocol);
+    }
+}`,
+		},
+		{
+			Semantic: TunnelID,
+			Stages:   1,
+			P4: `control ref_tunnel_id(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        if (hdr.vxlan.isValid()) { meta.tunnel_id = hdr.vxlan.vni; }
+    }
+}`,
+		},
+		{
+			Semantic:     KVKey,
+			Stages:       4,
+			NeedsPayload: true,
+			P4: `control ref_kv_key(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        // Payload-inspecting feature: requires a parser extern that walks
+        // the request line ("get <key>") and digests the key bytes.
+        meta.kv_key = kv_key_digest(hdr.payload);
+    }
+}`,
+		},
+		{
+			Semantic:     PayloadHash,
+			Stages:       2,
+			NeedsPayload: true,
+			P4: `control ref_payload_hash(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        meta.payload_hash = crc32_payload(hdr.payload);
+    }
+}`,
+		},
+		{
+			Semantic: IPID,
+			Stages:   1,
+			P4: `control ref_ip_id(in headers_t hdr, inout pipe_meta_t meta) {
+    apply {
+        meta.ip_id = hdr.ipv4.identification;
+    }
+}`,
+		},
+	} {
+		RegisterRef(r)
+	}
+}

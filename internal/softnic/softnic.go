@@ -1,0 +1,350 @@
+// Package softnic provides the software reference implementation of every
+// emulable semantic — the "SoftNIC-like framework [that] emulates each
+// missing semantic at a run-time cost" of the paper. The OpenDesc compiler
+// links these functions as shims for the semantics the selected completion
+// layout does not provide, and the calibration routine measures w(s) on the
+// running machine to replace the static cost table.
+package softnic
+
+import (
+	"encoding/binary"
+	"time"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
+)
+
+// DefaultToeplitzKey is the Microsoft RSS reference hash key.
+var DefaultToeplitzKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the Toeplitz hash of input under key, as NIC RSS engines
+// do.
+func Toeplitz(key []byte, input []byte) uint32 {
+	var hash uint32
+	// Sliding 32-bit window over the key, MSB first.
+	var window uint32
+	if len(key) >= 4 {
+		window = binary.BigEndian.Uint32(key[:4])
+	}
+	keyBit := 32 // next key bit index
+	nextKeyBit := func() {
+		byteIdx := keyBit / 8
+		bit := 7 - keyBit%8
+		var b uint32
+		if byteIdx < len(key) {
+			b = uint32(key[byteIdx]>>bit) & 1
+		}
+		window = window<<1 | b
+		keyBit++
+	}
+	for _, in := range input {
+		for m := 7; m >= 0; m-- {
+			if in>>m&1 == 1 {
+				hash ^= window
+			}
+			nextKeyBit()
+		}
+	}
+	return hash
+}
+
+// RSS computes the standard 5-tuple (or 2-tuple for non-TCP/UDP) Toeplitz
+// RSS hash of a decoded packet.
+func RSS(in *pkt.Info) uint32 {
+	var buf [36]byte
+	n := 0
+	switch in.L3 {
+	case pkt.L3IPv4:
+		n += copy(buf[n:], in.SrcIP[:4])
+		n += copy(buf[n:], in.DstIP[:4])
+	case pkt.L3IPv6:
+		n += copy(buf[n:], in.SrcIP[:])
+		n += copy(buf[n:], in.DstIP[:])
+	default:
+		return 0
+	}
+	if in.L4 == pkt.L4TCP || in.L4 == pkt.L4UDP {
+		binary.BigEndian.PutUint16(buf[n:], in.SrcPort)
+		binary.BigEndian.PutUint16(buf[n+2:], in.DstPort)
+		n += 4
+	}
+	return Toeplitz(DefaultToeplitzKey[:], buf[:n])
+}
+
+// FlowID computes a symmetric exact-match flow identifier (FNV-1a over the
+// sorted 5-tuple) — software stand-in for NIC flow-table match results.
+func FlowID(in *pkt.Info) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(b byte) { h = (h ^ uint32(b)) * prime32 }
+	a, b := in.SrcIP, in.DstIP
+	pa, pb := in.SrcPort, in.DstPort
+	// Symmetric ordering so both directions map to one flow.
+	swap := false
+	for i := range a {
+		if a[i] != b[i] {
+			swap = a[i] > b[i]
+			break
+		}
+	}
+	if swap {
+		a, b = b, a
+		pa, pb = pb, pa
+	}
+	for _, x := range a {
+		mix(x)
+	}
+	for _, x := range b {
+		mix(x)
+	}
+	mix(byte(pa >> 8))
+	mix(byte(pa))
+	mix(byte(pb >> 8))
+	mix(byte(pb))
+	mix(in.IPProto)
+	return h
+}
+
+// IPChecksum recomputes the IPv4 header checksum (0 for non-IPv4).
+func IPChecksum(in *pkt.Info) uint16 {
+	if in.L3 != pkt.L3IPv4 || in.L3Off < 0 {
+		return 0
+	}
+	hdr := in.Data[in.L3Off:]
+	ihl := int(hdr[0]&0x0F) * 4
+	if ihl < pkt.IPv4MinLen || in.L3Off+ihl > len(in.Data) {
+		return 0
+	}
+	return pkt.IPv4HeaderChecksum(hdr[:ihl])
+}
+
+// L4Checksum recomputes the TCP/UDP checksum including pseudo-header.
+func L4Checksum(in *pkt.Info) uint16 {
+	c, _ := pkt.L4Checksum(in)
+	return c
+}
+
+// VLANTCI extracts the outer VLAN TCI (0 when untagged).
+func VLANTCI(in *pkt.Info) uint16 { return in.OuterTCI() }
+
+// PType returns the parsed packet-type code.
+func PType(in *pkt.Info) uint8 { return in.PTypeCode() }
+
+// PayloadHash hashes the L4 payload (FNV-1a), a software stand-in for
+// accelerator-computed digests (RegEx pre-filters and similar).
+func PayloadHash(in *pkt.Info) uint32 {
+	const prime32 = 16777619
+	h := uint32(2166136261)
+	for _, b := range in.Payload() {
+		h = (h ^ uint32(b)) * prime32
+	}
+	return h
+}
+
+// KVKey extracts the key digest of a key-value-store request carried as the
+// packet payload. The recognized wire format is "get <key>\r\n" /
+// "set <key> ..." (memcached-style); the digest is FNV-1a64 over the key
+// bytes, which is what a FlexNIC-style offload would steer on.
+func KVKey(in *pkt.Info) uint64 {
+	p := in.Payload()
+	// Skip the verb.
+	i := 0
+	for i < len(p) && p[i] != ' ' {
+		i++
+	}
+	if i == len(p) {
+		return 0
+	}
+	i++ // the space
+	start := i
+	for i < len(p) && p[i] != ' ' && p[i] != '\r' && p[i] != '\n' {
+		i++
+	}
+	if i == start {
+		return 0
+	}
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, b := range p[start:i] {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
+
+// TunnelID extracts the VXLAN VNI when the packet is a VXLAN encapsulation
+// (UDP dst 4789), else 0.
+func TunnelID(in *pkt.Info) uint32 {
+	if in.L4 != pkt.L4UDP || in.DstPort != 4789 {
+		return 0
+	}
+	p := in.Payload()
+	if len(p) < 8 {
+		return 0
+	}
+	return uint32(p[4])<<16 | uint32(p[5])<<8 | uint32(p[6])
+}
+
+// Funcs returns the SoftNIC shim table for the codegen runtime: each function
+// decodes the raw packet and computes one semantic. Decoding cost is paid per
+// call, exactly as a software fallback on a descriptor-less datapath would.
+func Funcs() map[semantics.Name]codegen.SoftFunc {
+	perPacket := func(f func(*pkt.Info) uint64) codegen.SoftFunc {
+		return func(packet []byte) uint64 {
+			var in pkt.Info
+			if err := pkt.Decode(packet, &in); err != nil {
+				return 0
+			}
+			return f(&in)
+		}
+	}
+	return map[semantics.Name]codegen.SoftFunc{
+		semantics.RSS:        perPacket(func(in *pkt.Info) uint64 { return uint64(RSS(in)) }),
+		semantics.IPChecksum: perPacket(func(in *pkt.Info) uint64 { return uint64(IPChecksum(in)) }),
+		semantics.L4Checksum: perPacket(func(in *pkt.Info) uint64 { return uint64(L4Checksum(in)) }),
+		// VLAN needs no full decode: peek the EtherType and TCI directly
+		// (this is why w(vlan) is among the cheapest costs in the model).
+		semantics.VLAN: func(packet []byte) uint64 {
+			if len(packet) < pkt.EthHeaderLen+pkt.VLANTagLen {
+				return 0
+			}
+			et := uint16(packet[12])<<8 | uint16(packet[13])
+			if et != pkt.EtherTypeVLAN && et != pkt.EtherTypeQinQ {
+				return 0
+			}
+			return uint64(packet[14])<<8 | uint64(packet[15])
+		},
+		semantics.PType:       perPacket(func(in *pkt.Info) uint64 { return uint64(PType(in)) }),
+		semantics.FlowID:      perPacket(func(in *pkt.Info) uint64 { return uint64(FlowID(in)) }),
+		semantics.IPID:        perPacket(func(in *pkt.Info) uint64 { return uint64(in.IPID) }),
+		semantics.PktLen:      func(packet []byte) uint64 { return uint64(len(packet)) },
+		semantics.KVKey:       perPacket(KVKey),
+		semantics.PayloadHash: perPacket(func(in *pkt.Info) uint64 { return uint64(PayloadHash(in)) }),
+		semantics.TunnelID:    perPacket(func(in *pkt.Info) uint64 { return uint64(TunnelID(in)) }),
+		semantics.DecapFlag:   perPacket(func(in *pkt.Info) uint64 { return boolBit(TunnelID(in) != 0) }),
+		semantics.L4Port:      perPacket(func(in *pkt.Info) uint64 { return uint64(in.DstPort) }),
+		semantics.SegCnt:      func(packet []byte) uint64 { return 1 },
+		semantics.ErrorFlags: perPacket(func(in *pkt.Info) uint64 {
+			var f uint64
+			if in.L3 == pkt.L3IPv4 && in.L3Off >= 0 {
+				hdr := in.Data[in.L3Off:]
+				ihl := int(hdr[0]&0x0F) * 4
+				if ihl >= pkt.IPv4MinLen && in.L3Off+ihl <= len(in.Data) && !pkt.VerifyIPv4Header(hdr[:ihl]) {
+					f |= 1
+				}
+			}
+			if (in.L4 == pkt.L4TCP || in.L4 == pkt.L4UDP) && !pkt.VerifyL4(in) {
+				f |= 2
+			}
+			return f
+		}),
+		semantics.ChecksumAny: perPacket(func(in *pkt.Info) uint64 {
+			lvl := uint64(0)
+			if in.L3 == pkt.L3IPv4 {
+				lvl = 1
+			}
+			if in.L4 == pkt.L4TCP || in.L4 == pkt.L4UDP {
+				lvl = 2
+			}
+			return lvl
+		}),
+		semantics.ParserDepth: perPacket(func(in *pkt.Info) uint64 {
+			d := uint64(1)
+			if in.L3 != pkt.L3None {
+				d++
+			}
+			if in.L4 != pkt.L4None {
+				d++
+			}
+			return d
+		}),
+		// queue_id: the polling thread knows which queue it drains; the shim
+		// returns the conventional single-queue id and datapaths that spread
+		// over queues bind their own closure instead.
+		semantics.QueueID: func(packet []byte) uint64 { return 0 },
+		semantics.InnerCsum: perPacket(func(in *pkt.Info) uint64 {
+			return uint64(innerChecksumStatus(in))
+		}),
+	}
+}
+
+// innerChecksumStatus validates the checksum of a VXLAN-encapsulated inner
+// frame: 0 = no tunnel, 1 = inner valid, 2 = inner invalid/undecodable.
+func innerChecksumStatus(in *pkt.Info) uint8 {
+	if TunnelID(in) == 0 {
+		return 0
+	}
+	p := in.Payload()
+	if len(p) < 8+pkt.EthHeaderLen {
+		return 2
+	}
+	var inner pkt.Info
+	if err := pkt.Decode(p[8:], &inner); err != nil {
+		return 2
+	}
+	if inner.L3 == pkt.L3IPv4 && inner.L3Off >= 0 {
+		hdr := inner.Data[inner.L3Off:]
+		ihl := int(hdr[0]&0x0F) * 4
+		if ihl < pkt.IPv4MinLen || inner.L3Off+ihl > len(inner.Data) || !pkt.VerifyIPv4Header(hdr[:ihl]) {
+			return 2
+		}
+	}
+	return 1
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Calibrate measures the per-packet cost of each emulable semantic on the
+// running machine over the supplied sample packets and returns a measured
+// cost model (in nanoseconds). This is the dynamic alternative to the static
+// table — DESIGN.md's "cost model source" ablation.
+func Calibrate(samples [][]byte, rounds int) map[semantics.Name]float64 {
+	if rounds <= 0 {
+		rounds = 64
+	}
+	out := make(map[semantics.Name]float64)
+	funcs := Funcs()
+	var sink uint64
+	for name, f := range funcs {
+		start := time.Now()
+		n := 0
+		for r := 0; r < rounds; r++ {
+			for _, s := range samples {
+				sink += f(s)
+				n++
+			}
+		}
+		if n > 0 {
+			out[name] = float64(time.Since(start).Nanoseconds()) / float64(n)
+		}
+	}
+	_ = sink
+	return out
+}
+
+// CalibratedCosts wraps Calibrate results as a cost model, falling back to
+// the registry for semantics without software implementation (∞ cost ones).
+func CalibratedCosts(reg *semantics.Registry, samples [][]byte, rounds int) semantics.CostModel {
+	measured := Calibrate(samples, rounds)
+	base := semantics.RegistryCosts(reg)
+	return func(n semantics.Name) float64 {
+		if v, ok := measured[n]; ok {
+			return v
+		}
+		return base(n)
+	}
+}

@@ -1,0 +1,263 @@
+// Package opendesc is the public API of the OpenDesc library — a compiler
+// and runtime for declarative NIC↔host metadata interfaces, implementing
+// "OpenDesc: From Static NIC Descriptors to Evolvable Metadata Interfaces"
+// (HotNets '25).
+//
+// The workflow has three steps:
+//
+//  1. Declare what metadata the application wants — either programmatically
+//     (NewIntent) or as a P4 intent header with @semantic annotations
+//     (ParseIntentP4).
+//  2. Compile the intent against a NIC interface description (Compile /
+//     CompileP4): the compiler enumerates the NIC's completion layouts,
+//     picks the optimal one, and synthesizes accessors plus software shims.
+//  3. Either generate source (GenerateGo / GenerateC / GenerateEBPF) for an
+//     external datapath, or Open a ready-to-use driver over the bundled
+//     simulator and read metadata per packet.
+//
+// A minimal end-to-end use:
+//
+//	drv, err := opendesc.Open("mlx5", "rss", "vlan", "pkt_len")
+//	...
+//	drv.Rx(packet) // deliver a packet (the simulated wire)
+//	drv.Poll(func(pkt []byte, meta opendesc.Meta) {
+//	    hash, _ := meta.Get("rss")
+//	    ...
+//	})
+package opendesc
+
+import (
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/p4/parser"
+	"opendesc/internal/p4/sema"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+)
+
+// Re-exported core types. The aliases make the internal packages' documented
+// types part of the public surface without duplicating them.
+type (
+	// Intent is an application's declared metadata intent.
+	Intent = core.Intent
+	// Result is a compilation result: selected completion path, layout,
+	// accessor table and NIC context configuration.
+	Result = core.Result
+	// Accessor is one synthesized metadata accessor.
+	Accessor = core.Accessor
+	// CompileOptions tunes path selection and enumeration.
+	CompileOptions = core.CompileOptions
+	// SelectOptions tunes the Eq. 1 optimization.
+	SelectOptions = core.SelectOptions
+	// UnsatisfiableError reports an intent no completion path and no
+	// software fallback can serve.
+	UnsatisfiableError = core.UnsatisfiableError
+	// PipelineCaps describes programmable-pipeline resources for offload
+	// planning.
+	PipelineCaps = core.PipelineCaps
+	// OffloadPlan places missing features onto pipeline or software.
+	OffloadPlan = core.OffloadPlan
+)
+
+// NICs lists the bundled NIC model names.
+func NICs() []string {
+	var out []string
+	for _, m := range nic.All() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Semantics lists the canonical semantic names (the universe Σ).
+func Semantics() []string {
+	var out []string
+	for _, n := range semantics.Default.Names() {
+		out = append(out, string(n))
+	}
+	return out
+}
+
+// RegisterSemantic extends Σ with an application-defined semantic — the
+// paper's evolvability hook. defaultBits is the canonical field width;
+// softCost the per-packet software-emulation cost (use math.Inf(1) when no
+// software fallback exists).
+func RegisterSemantic(name string, defaultBits int, softCost float64) error {
+	return semantics.Default.Register(semantics.Descriptor{
+		Name: semantics.Name(name), DefaultBits: defaultBits, SoftCost: softCost,
+	})
+}
+
+// NewIntent builds an intent from semantic names.
+func NewIntent(name string, sems ...string) (*Intent, error) {
+	names := make([]semantics.Name, len(sems))
+	for i, s := range sems {
+		names[i] = semantics.Name(s)
+	}
+	return core.IntentFromSemantics(name, semantics.Default, names...)
+}
+
+// ParseIntentP4 parses a P4 source containing an intent header (fields
+// tagged with @semantic, paper Fig. 5). header selects the intent header by
+// name; pass "" when the source has exactly one annotated header.
+func ParseIntentP4(source, header string) (*Intent, error) {
+	prog, err := parser.Parse("intent.p4", source)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParseIntent(info, header)
+}
+
+// Compile maps an intent onto a bundled NIC model.
+func Compile(nicName string, intent *Intent, opts CompileOptions) (*Result, error) {
+	m, err := nic.Load(nicName)
+	if err != nil {
+		return nil, err
+	}
+	return m.Compile(intent, opts)
+}
+
+// CompileP4 maps an intent onto an arbitrary NIC interface description given
+// as P4 source (the self-describing-NIC path: the description normally ships
+// with the device).
+func CompileP4(nicName, nicSource string, intent *Intent, opts CompileOptions) (*Result, error) {
+	prog, err := parser.Parse(nicName+".p4", nicSource)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(nicName, core.DeparserSpec{Info: info}, intent, opts)
+}
+
+// GenerateGo renders a standalone Go accessor package for a result.
+func GenerateGo(res *Result, pkg string) string { return codegen.GenGo(res, pkg) }
+
+// GenerateGoBatch renders 4-wide batch accessors (the §5 SIMD shape).
+func GenerateGoBatch(res *Result, pkg string) string { return codegen.GenGoBatch(res, pkg) }
+
+// GenerateC renders a C header with constant-time accessors.
+func GenerateC(res *Result, prefix string) string { return codegen.GenC(res, prefix) }
+
+// GenerateEBPF renders eBPF/XDP C source with verifier-safe bounded reads.
+func GenerateEBPF(res *Result) string { return codegen.GenEBPF(res) }
+
+// PlanOffloads places a result's missing features onto the NIC's
+// programmable pipeline (when resources allow) or host software.
+func PlanOffloads(res *Result, caps PipelineCaps) (*OffloadPlan, error) {
+	return core.PlanOffloads(res, caps, nil)
+}
+
+// Meta reads per-packet metadata inside a Driver.Poll handler.
+type Meta struct {
+	rt   *codegen.Runtime
+	cmpt []byte
+	pkt  []byte
+}
+
+// Get returns the value of a semantic for the current packet: a constant
+// -time descriptor read when the selected layout carries it, the SoftNIC
+// shim otherwise. ok is false for semantics outside the compiled intent.
+func (m Meta) Get(sem string) (uint64, bool) {
+	v, err := m.rt.Read(semantics.Name(sem), m.cmpt, m.pkt)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Hardware reports whether the semantic is served directly from the
+// completion record (vs a software shim).
+func (m Meta) Hardware(sem string) bool {
+	r := m.rt.Reader(semantics.Name(sem))
+	return r != nil && r.Hardware
+}
+
+// Driver is the generated minimalist driver datapath the paper's conclusion
+// aims at: a compiled intent, a configured (simulated) device, and the
+// accessor runtime, behind a two-call API.
+type Driver struct {
+	Result *Result
+
+	dev     *nicsim.Device
+	rt      *codegen.Runtime
+	pending [][]byte
+}
+
+// Open compiles the intent for the NIC, programs a simulated device with the
+// selected context configuration, and links the SoftNIC shims.
+func Open(nicName string, sems ...string) (*Driver, error) {
+	intent, err := NewIntent("driver_intent", sems...)
+	if err != nil {
+		return nil, err
+	}
+	return OpenIntent(nicName, intent, CompileOptions{})
+}
+
+// OpenIntent is Open with an explicit intent and compile options.
+func OpenIntent(nicName string, intent *Intent, opts CompileOptions) (*Driver, error) {
+	m, err := nic.Load(nicName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Compile(intent, opts)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := nicsim.New(m, nicsim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.ApplyConfig(res.Config); err != nil {
+		return nil, err
+	}
+	return &Driver{
+		Result: res,
+		dev:    dev,
+		rt:     codegen.NewRuntime(res, softnic.Funcs()),
+	}, nil
+}
+
+// Rx delivers one packet to the device (the simulated wire). It returns
+// false when the completion ring is full.
+func (d *Driver) Rx(packet []byte) bool {
+	if !d.dev.RxPacket(packet) {
+		return false
+	}
+	d.pending = append(d.pending, packet)
+	return true
+}
+
+// Poll drains completed packets, invoking h for each with its metadata view,
+// and returns how many were processed.
+func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
+	n := 0
+	for n < len(d.pending) {
+		p := d.pending[n]
+		if !d.dev.CmptRing.Consume(func(cmpt []byte) {
+			h(p, Meta{rt: d.rt, cmpt: cmpt, pkt: p})
+		}) {
+			break
+		}
+		n++
+	}
+	d.pending = d.pending[:copy(d.pending, d.pending[n:])]
+	return n
+}
+
+// CompletionBytes is the DMA footprint of each completion record under the
+// compiled configuration.
+func (d *Driver) CompletionBytes() int { return d.Result.CompletionBytes() }
+
+// Report renders the compilation report (selected path, accessors, config).
+func (d *Driver) Report() string { return d.Result.Report() }
+
+// Stats returns device counters (packets received, drops).
+func (d *Driver) Stats() (rx, drops uint64) { return d.dev.Stats() }

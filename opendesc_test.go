@@ -1,0 +1,240 @@
+package opendesc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opendesc/internal/pkt"
+	"opendesc/internal/softnic"
+)
+
+func TestNICsAndSemantics(t *testing.T) {
+	nics := NICs()
+	if len(nics) != 6 {
+		t.Fatalf("nics = %v", nics)
+	}
+	sems := Semantics()
+	if len(sems) < 20 {
+		t.Errorf("semantics universe = %d entries", len(sems))
+	}
+	found := false
+	for _, s := range sems {
+		if s == "rss" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rss missing from universe")
+	}
+}
+
+func TestCompilePublicAPI(t *testing.T) {
+	intent, err := NewIntent("app", "rss", "ip_checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile("e1000e", intent, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 6 invariant holds through the public surface.
+	if got := res.Missing(); len(got) != 1 || string(got[0]) != "rss" {
+		t.Errorf("missing = %v", got)
+	}
+	if !strings.Contains(GenerateGo(res, "acc"), "func IpChecksum") {
+		t.Error("GenerateGo lost the hardware accessor")
+	}
+	if !strings.Contains(GenerateC(res, "e1000e"), "e1000e_get_ip_checksum") {
+		t.Error("GenerateC lost the accessor")
+	}
+	if !strings.Contains(GenerateEBPF(res), "opendesc_cmpt") {
+		t.Error("GenerateEBPF lost the bounded reader")
+	}
+	if !strings.Contains(GenerateGoBatch(res, "acc"), "X4(") {
+		t.Error("GenerateGoBatch lost the batch form")
+	}
+}
+
+func TestCompileUnknownNIC(t *testing.T) {
+	intent, _ := NewIntent("app", "rss")
+	if _, err := Compile("cx7", intent, CompileOptions{}); err == nil {
+		t.Error("unknown NIC should fail")
+	}
+}
+
+func TestParseIntentP4Public(t *testing.T) {
+	intent, err := ParseIntentP4(`
+header intent_t {
+    @semantic("rss") bit<32> h;
+    @semantic("vlan") bit<16> v;
+}`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intent.Name != "intent_t" || len(intent.Fields) != 2 {
+		t.Errorf("intent = %+v", intent)
+	}
+}
+
+func TestCompileP4CustomNIC(t *testing.T) {
+	intent, err := NewIntent("app", "rss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileP4("custom", `
+struct ctx_t { bit<1> f; }
+header d_t { bit<8> x; }
+struct meta_t { @semantic("rss") bit<32> h; @semantic("pkt_len") bit<16> l; }
+@bind("CTX","ctx_t") @bind("DESC","d_t") @bind("META","meta_t")
+control CmptDeparser<CTX,DESC,META>(cmpt_out co, in CTX ctx, in DESC d, in META m) {
+    apply { co.emit(m.h); co.emit(m.l); }
+}`, intent, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionBytes() != 6 {
+		t.Errorf("completion = %dB", res.CompletionBytes())
+	}
+	a := res.Accessor("rss")
+	if a == nil || !a.Hardware || a.OffsetBits != 0 {
+		t.Errorf("rss accessor = %+v", a)
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	drv, err := Open("mlx5", "rss", "vlan", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt.NewBuilder().
+		WithVLAN(0x0123).
+		WithTCP(443, 55000, 0x18).
+		WithPayload([]byte("public api")).
+		Build()
+	if !drv.Rx(p) {
+		t.Fatal("rx failed")
+	}
+	var in pkt.Info
+	if err := pkt.Decode(p, &in); err != nil {
+		t.Fatal(err)
+	}
+	polled := 0
+	n := drv.Poll(func(packet []byte, meta Meta) {
+		polled++
+		hash, ok := meta.Get("rss")
+		if !ok || hash != uint64(softnic.RSS(&in)) {
+			t.Errorf("rss = %#x/%v", hash, ok)
+		}
+		vlan, ok := meta.Get("vlan")
+		if !ok || vlan != 0x0123 {
+			t.Errorf("vlan = %#x/%v", vlan, ok)
+		}
+		if _, ok := meta.Get("timestamp"); ok {
+			t.Error("semantic outside the intent should not resolve")
+		}
+		if !meta.Hardware("rss") {
+			t.Error("rss should be hardware on mlx5")
+		}
+	})
+	if n != 1 || polled != 1 {
+		t.Errorf("poll = %d/%d", n, polled)
+	}
+	if rx, drops := drv.Stats(); rx != 1 || drops != 0 {
+		t.Errorf("stats = %d/%d", rx, drops)
+	}
+	if drv.CompletionBytes() <= 0 {
+		t.Error("completion bytes")
+	}
+	if !strings.Contains(drv.Report(), "selected path") {
+		t.Error("report")
+	}
+}
+
+func TestDriverPollBatches(t *testing.T) {
+	drv, err := Open("e1000", "pkt_len", "ip_checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !drv.Rx(pkt.NewBuilder().WithUDP(uint16(i), 99).Build()) {
+			t.Fatal("rx failed")
+		}
+	}
+	if n := drv.Poll(func([]byte, Meta) {}); n != 10 {
+		t.Errorf("first poll = %d", n)
+	}
+	if n := drv.Poll(func([]byte, Meta) {}); n != 0 {
+		t.Errorf("drained poll = %d", n)
+	}
+	// Interleave: rx after poll keeps pairing packets and completions.
+	drv.Rx(pkt.NewBuilder().Build())
+	if n := drv.Poll(func([]byte, Meta) {}); n != 1 {
+		t.Errorf("post-drain poll = %d", n)
+	}
+}
+
+func TestDriverSoftwareShimThroughMeta(t *testing.T) {
+	// On e1000e with rss+csum, rss is a software shim; Meta.Get must still
+	// deliver the golden value.
+	drv, err := Open("e1000e", "rss", "ip_checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt.NewBuilder().WithTCP(1, 2, 0).Build()
+	drv.Rx(p)
+	var in pkt.Info
+	pkt.Decode(p, &in)
+	drv.Poll(func(packet []byte, meta Meta) {
+		if meta.Hardware("rss") {
+			t.Error("rss should be a software shim here")
+		}
+		v, ok := meta.Get("rss")
+		if !ok || v != uint64(softnic.RSS(&in)) {
+			t.Errorf("soft rss = %#x/%v", v, ok)
+		}
+	})
+}
+
+func TestRegisterSemanticEvolvability(t *testing.T) {
+	if err := RegisterSemantic("my_accel_digest", 48, 300); err != nil {
+		t.Fatal(err)
+	}
+	// The new semantic is requestable; no NIC provides it, software cost is
+	// finite, so compilation succeeds with a shim.
+	intent, err := NewIntent("app", "my_accel_digest", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile("e1000", intent, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Accessor("my_accel_digest")
+	if a == nil || a.Hardware {
+		t.Errorf("accessor = %+v, want software shim", a)
+	}
+	// An inemulable unknown semantic is rejected.
+	if err := RegisterSemantic("hw_only_thing", 32, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	intent2, _ := NewIntent("app", "hw_only_thing")
+	if _, err := Compile("e1000", intent2, CompileOptions{}); err == nil {
+		t.Error("inemulable absent semantic should be unsatisfiable")
+	}
+}
+
+func TestPlanOffloadsPublic(t *testing.T) {
+	intent, _ := NewIntent("app", "rss", "ip_checksum")
+	res, err := Compile("e1000e", intent, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanOffloads(res, PipelineCaps{Programmable: true, StageBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pushed()) != 1 {
+		t.Errorf("pushed = %v", plan.Pushed())
+	}
+}
