@@ -6,7 +6,10 @@ package opendesc
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"testing"
+	"time"
 
 	"opendesc/internal/baseline"
 	"opendesc/internal/bench"
@@ -14,6 +17,7 @@ import (
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
 	"opendesc/internal/p4/parser"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/ring"
@@ -242,6 +246,63 @@ func BenchmarkSimulatorRx(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead quantifies the observability tax on the simulator RX
+// path. The device counters are always compiled in, so "counters-only" is
+// the baseline; "registered" additionally attaches them to a registry (a
+// registration-time change only — the hot path is untouched); "serving"
+// keeps a live /metrics endpoint scraping concurrently. The acceptance bound
+// for the stats endpoint is ≤5% over the endpoint-disabled run.
+func BenchmarkObsOverhead(b *testing.B) {
+	tr := workload.MustGenerate(workload.DefaultSpec())
+	m := nic.MustLoad("mlx5")
+	run := func(b *testing.B, dev *nicsim.Device) {
+		b.Helper()
+		b.SetBytes(int64(tr.TotalBytes() / len(tr.Packets)))
+		for i := 0; i < b.N; i++ {
+			if !dev.RxPacket(tr.Packets[i%len(tr.Packets)]) {
+				for dev.CmptRing.Pop() {
+				}
+			}
+		}
+	}
+	b.Run("counters-only", func(b *testing.B) {
+		run(b, nicsim.MustNew(m, nicsim.Config{RingEntries: 2048}))
+	})
+	b.Run("registered", func(b *testing.B) {
+		dev := nicsim.MustNew(m, nicsim.Config{RingEntries: 2048})
+		dev.RegisterMetrics(obs.NewRegistry(), obs.L("queue", "0"))
+		run(b, dev)
+	})
+	b.Run("serving", func(b *testing.B) {
+		dev := nicsim.MustNew(m, nicsim.Config{RingEntries: 2048})
+		reg := obs.NewRegistry()
+		dev.RegisterMetrics(reg, obs.L("queue", "0"))
+		addr, closer, err := reg.Serve("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer closer.Close()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() { // a scraper polling /metrics while packets flow
+			url := fmt.Sprintf("http://%s/metrics", addr)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+				resp, err := http.Get(url)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+		run(b, dev)
+	})
 }
 
 // BenchmarkRingOps measures the descriptor-queue substrate.

@@ -8,18 +8,22 @@
 //
 //	nicsim -nic mlx5 -req rss,vlan,timestamp -packets 1000
 //	nicsim -nic qdma -req kv_key,rss -kv
+//	nicsim -nic mlx5 -req rss,kv_key -stats               # ethtool-style dump
+//	nicsim -nic mlx5 -req rss -stats-addr localhost:9100  # /metrics endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
 	"opendesc/internal/pkt"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
@@ -28,11 +32,13 @@ import (
 
 func main() {
 	var (
-		nicName = flag.String("nic", "mlx5", "NIC model (see opendesc -list)")
-		req     = flag.String("req", "rss,vlan,pkt_len", "requested semantics")
-		packets = flag.Int("packets", 256, "packets to push through the device")
-		kv      = flag.Bool("kv", false, "generate key-value request traffic")
-		verbose = flag.Bool("v", false, "print per-packet metadata")
+		nicName   = flag.String("nic", "mlx5", "NIC model (see opendesc -list)")
+		req       = flag.String("req", "rss,vlan,pkt_len", "requested semantics")
+		packets   = flag.Int("packets", 256, "packets to push through the device")
+		kv        = flag.Bool("kv", false, "generate key-value request traffic")
+		verbose   = flag.Bool("v", false, "print per-packet metadata")
+		stats     = flag.Bool("stats", false, "dump ethtool-style device/ring/shim counters on exit")
+		statsAddr = flag.String("stats-addr", "", "serve /metrics (Prometheus) and /debug/vars on this address while running")
 	)
 	flag.Parse()
 
@@ -63,7 +69,25 @@ func main() {
 	if err := dev.ApplyConfig(res.Config); err != nil {
 		fatal(err)
 	}
-	rt := codegen.NewRuntime(res, softnic.Funcs())
+
+	// Observability: register device + ring counters, and (when stats are
+	// requested) run the software shims instrumented so their per-semantic
+	// call counts and cycle cost show up in the dump / endpoint.
+	reg := obs.NewRegistry()
+	dev.RegisterMetrics(reg, obs.L("queue", "0"))
+	shimStats := softnic.NewShimStats(reg)
+	soft := softnic.Funcs()
+	if *stats || *statsAddr != "" {
+		soft = softnic.InstrumentedFuncs(shimStats)
+	}
+	if *statsAddr != "" {
+		addr, _, err := reg.Serve(*statsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stats endpoint: http://%s/metrics (Prometheus), http://%s/debug/vars (JSON)\n", addr, addr)
+	}
+	rt := codegen.NewRuntime(res, soft)
 
 	spec := workload.DefaultSpec()
 	spec.Packets = *packets
@@ -79,7 +103,9 @@ func main() {
 		len(tr.Packets), model.Name, rt.CompletionBytes)
 	mismatches := 0
 	checked := 0
-	soft := softnic.Funcs()
+	// Cross-checks use the bare (uninstrumented) reference funcs so the
+	// shim-call counters reflect only real datapath emulation work.
+	golden := softnic.Funcs()
 	for i, p := range tr.Packets {
 		if !dev.RxPacket(p) {
 			fatal(fmt.Errorf("rx stalled at packet %d", i))
@@ -95,7 +121,7 @@ func main() {
 				}
 				// Cross-check hardware reads against golden software where
 				// a software implementation exists.
-				if f, ok := soft[n]; ok && rt.Reader(n).Hardware {
+				if f, ok := golden[n]; ok && rt.Reader(n).Hardware {
 					want := f(p)
 					if a := res.Accessor(n); a != nil && a.WidthBits < 64 {
 						want &= (1 << a.WidthBits) - 1
@@ -108,11 +134,14 @@ func main() {
 			}
 		})
 	}
-	rx, drops := dev.Stats()
+	st := dev.Stats()
 	fmt.Printf("done: rx=%d drops=%d, %d hardware reads cross-checked, %d mismatches\n",
-		rx, drops, checked, mismatches)
+		st.RxPackets, st.Drops, checked, mismatches)
 	if mismatches > 0 {
 		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("\ndevice/ring/shim counters (%s):\n%s", model.Name, reg.Table())
 	}
 
 	// TX direction demo when the model describes a DescParser.
@@ -133,6 +162,13 @@ func main() {
 		}
 	}
 	_ = pkt.EthHeaderLen
+
+	if *statsAddr != "" {
+		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 }
 
 func fatal(err error) {

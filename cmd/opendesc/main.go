@@ -26,6 +26,7 @@ import (
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
+	"opendesc/internal/obs"
 	"opendesc/internal/p4/parser"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/semantics"
@@ -45,6 +46,7 @@ func main() {
 		alpha      = flag.Float64("alpha", 0, "DMA footprint weight α (0 = default, negative = ignore footprint)")
 		noPrune    = flag.Bool("no-prune", false, "disable symbolic path pruning (debugging)")
 		plan       = flag.Bool("plan", false, "print the offload placement plan (software vs programmable pipeline)")
+		traceFlag  = flag.Bool("trace", false, "print a per-stage compile span report (parse → sema → cfg → paths → select → codegen)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,11 @@ func main() {
 		fatal(fmt.Errorf("missing -nic (try -list)"))
 	}
 
-	spec, nicName, err := loadNIC(*nicArg)
+	var tr *obs.Trace
+	if *traceFlag {
+		tr = obs.NewTrace("compile " + *nicArg)
+	}
+	spec, nicName, err := loadNICTraced(*nicArg, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +81,7 @@ func main() {
 	opts := core.CompileOptions{
 		Select:    core.SelectOptions{Alpha: *alpha},
 		Enumerate: core.EnumerateOptions{DisablePruning: *noPrune},
+		Trace:     tr,
 	}
 	res, err := core.Compile(nicName, spec, intent, opts)
 	if err != nil {
@@ -95,46 +102,97 @@ func main() {
 			fmt.Println("\n// P4 pushed to the programmable pipeline:")
 			fmt.Print(prog)
 		}
+		if tr != nil {
+			fmt.Print(tr.Report())
+		}
 		return
 	}
 
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Start("codegen").Annotate("backend", *backend)
+	}
+	var out string
 	switch *backend {
 	case "report":
-		emit(*outDir, "report.txt", res.Report())
+		out = res.Report()
 	case "go":
-		emit(*outDir, "accessors.go", codegen.GenGo(res, *pkg))
+		out = codegen.GenGo(res, *pkg)
 	case "c":
-		emit(*outDir, "accessors.h", codegen.GenC(res, *prefix))
+		out = codegen.GenC(res, *prefix)
 	case "ebpf":
-		emit(*outDir, "accessors_bpf.c", codegen.GenEBPF(res))
+		out = codegen.GenEBPF(res)
 	case "dot":
-		emit(*outDir, "deparser.dot", res.Graph.DOT())
+		out = res.Graph.DOT()
 	default:
 		fatal(fmt.Errorf("unknown backend %q", *backend))
 	}
+	if sp != nil {
+		sp.Annotate("bytes", len(out)).End()
+	}
+	switch *backend {
+	case "report":
+		emit(*outDir, "report.txt", out)
+	case "go":
+		emit(*outDir, "accessors.go", out)
+	case "c":
+		emit(*outDir, "accessors.h", out)
+	case "ebpf":
+		emit(*outDir, "accessors_bpf.c", out)
+	case "dot":
+		emit(*outDir, "deparser.dot", out)
+	}
+	if tr != nil {
+		fmt.Print(tr.Report())
+	}
 }
 
+// loadNIC resolves a bundled model name or a .p4 file into a deparser spec.
 func loadNIC(arg string) (core.DeparserSpec, string, error) {
+	return loadNICTraced(arg, nil)
+}
+
+// loadNICTraced is loadNIC with optional frontend span recording: when tr is
+// non-nil the NIC description is (re)parsed and checked under "parse" and
+// "sema" spans — also for bundled models, whose cached Info would otherwise
+// hide the frontend cost.
+func loadNICTraced(arg string, tr *obs.Trace) (core.DeparserSpec, string, error) {
+	var name, file, src string
 	if !strings.ContainsAny(arg, "./") {
 		m, err := nic.Load(arg)
 		if err != nil {
 			return core.DeparserSpec{}, "", err
 		}
-		return m.Deparser, m.Name, nil
+		if tr == nil {
+			return m.Deparser, m.Name, nil
+		}
+		name, file, src = m.Name, m.Name+".p4", m.Source
+	} else {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return core.DeparserSpec{}, "", err
+		}
+		name, file, src = strings.TrimSuffix(filepath.Base(arg), ".p4"), arg, string(b)
 	}
-	src, err := os.ReadFile(arg)
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Start("parse").Annotate("source_bytes", len(src))
+	}
+	prog, err := parser.Parse(file, src)
 	if err != nil {
 		return core.DeparserSpec{}, "", err
 	}
-	prog, err := parser.Parse(arg, string(src))
-	if err != nil {
-		return core.DeparserSpec{}, "", err
+	if sp != nil {
+		sp.End()
+		sp = tr.Start("sema")
 	}
 	info, err := sema.Check(prog)
 	if err != nil {
 		return core.DeparserSpec{}, "", err
 	}
-	name := strings.TrimSuffix(filepath.Base(arg), ".p4")
+	if sp != nil {
+		sp.Annotate("controls", len(info.Prog.Controls())).End()
+	}
 	return core.DeparserSpec{Info: info}, name, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 	"opendesc/internal/workload"
@@ -38,9 +39,13 @@ func CaptureSamples(m *nic.Model, cons []core.Constraint, tr *workload.Trace) ([
 	}
 	size := active.SizeBytes()
 	samples := make([]Sample, 0, len(tr.Packets))
-	for _, p := range tr.Packets {
+	for i, p := range tr.Packets {
 		if !dev.RxPacket(p) {
-			return nil, fmt.Errorf("bench: rx failed")
+			st := dev.Stats()
+			return nil, fmt.Errorf(
+				"bench: rx failed at packet %d/%d on %s (device drops=%d, cmpt ring %d/%d full, %d full-stalls)",
+				i, len(tr.Packets), m.Name, st.Drops,
+				dev.CmptRing.Occupancy(), dev.CmptRing.Capacity(), st.Ring.FullStalls)
 		}
 		dev.CmptRing.Consume(func(e []byte) {
 			samples = append(samples, Sample{
@@ -55,7 +60,10 @@ func CaptureSamples(m *nic.Model, cons []core.Constraint, tr *workload.Trace) ([
 // measure times fn over the samples until it has run at least minDur in
 // total, and returns nanoseconds per sample. The fastest round is reported
 // (minimum-of-rounds is robust to scheduler noise from concurrent work).
-func measure(samples []Sample, minDur time.Duration, fn func(s *Sample)) float64 {
+// When h is non-nil every round's ns/packet is recorded into it, so the
+// caller gets the whole per-round latency distribution (p50/p90/p99), not
+// just the aggregate minimum.
+func measure(samples []Sample, minDur time.Duration, h *obs.Histogram, fn func(s *Sample)) float64 {
 	// Warm-up pass.
 	for i := range samples {
 		fn(&samples[i])
@@ -69,7 +77,11 @@ func measure(samples []Sample, minDur time.Duration, fn func(s *Sample)) float64
 		}
 		d := time.Since(start)
 		total += d
-		if ns := float64(d.Nanoseconds()) / float64(len(samples)); ns < best {
+		ns := float64(d.Nanoseconds()) / float64(len(samples))
+		if h != nil {
+			h.Observe(uint64(ns))
+		}
+		if ns < best {
 			best = ns
 		}
 	}
@@ -96,6 +108,10 @@ type datapathStacks struct {
 	// generated OpenDesc accessors.
 	mbufAcc   []baseline.MbufAccessor
 	odReaders []*codegen.Reader
+
+	// Hists holds, after Run, the per-stack round-latency distribution
+	// (ns/packet per timed round) keyed by stack name.
+	Hists map[string]*obs.Histogram
 }
 
 func newDatapathStacks(intent []semantics.Name, tr *workload.Trace) (*datapathStacks, error) {
@@ -143,13 +159,18 @@ func newDatapathStacks(intent []semantics.Name, tr *workload.Trace) (*datapathSt
 	return st, nil
 }
 
-// Run measures every stack and returns ns/packet keyed by stack name.
+// Run measures every stack and returns ns/packet keyed by stack name. It
+// also fills d.Hists with the per-stack round-latency distribution.
 func (d *datapathStacks) Run(minDur time.Duration) map[string]float64 {
 	out := make(map[string]float64, 4)
+	d.Hists = make(map[string]*obs.Histogram, 4)
+	for _, name := range []string{"skbuff", "mbuf", "xdp", "opendesc"} {
+		d.Hists[name] = obs.NewHistogram()
+	}
 	var sink uint64
 
 	var skb baseline.SkBuff
-	out["skbuff"] = measure(d.Full, minDur, func(s *Sample) {
+	out["skbuff"] = measure(d.Full, minDur, d.Hists["skbuff"], func(s *Sample) {
 		d.skb.Fill(&skb, s.Cmpt, len(s.Packet))
 		for _, sem := range d.Intent {
 			v, ok := skb.Read(sem)
@@ -163,7 +184,7 @@ func (d *datapathStacks) Run(minDur time.Duration) map[string]float64 {
 	})
 
 	var mb baseline.Mbuf
-	out["mbuf"] = measure(d.Full, minDur, func(s *Sample) {
+	out["mbuf"] = measure(d.Full, minDur, d.Hists["mbuf"], func(s *Sample) {
 		d.mbuf.Fill(&mb, s.Cmpt, len(s.Packet))
 		for i, acc := range d.mbufAcc {
 			v, ok := acc.Read(&mb)
@@ -174,7 +195,7 @@ func (d *datapathStacks) Run(minDur time.Duration) map[string]float64 {
 		}
 	})
 
-	out["xdp"] = measure(d.Full, minDur, func(s *Sample) {
+	out["xdp"] = measure(d.Full, minDur, d.Hists["xdp"], func(s *Sample) {
 		meta := d.xdp.Wrap(s.Cmpt, len(s.Packet))
 		for _, sem := range d.Intent {
 			v, _ := meta.Read(sem, s.Packet)
@@ -182,7 +203,7 @@ func (d *datapathStacks) Run(minDur time.Duration) map[string]float64 {
 		}
 	})
 
-	out["opendesc"] = measure(d.Selected, minDur, func(s *Sample) {
+	out["opendesc"] = measure(d.Selected, minDur, d.Hists["opendesc"], func(s *Sample) {
 		for _, r := range d.odReaders {
 			sink += r.Read(s.Cmpt, s.Packet)
 		}
@@ -306,8 +327,9 @@ func E4Datapath(packets int, minDur time.Duration) (*Table, error) {
 		Title: "Host datapath cost per stack (ns/packet, simulated mlx5)",
 		Note: "skbuff: eager full extraction; mbuf: flags+dynfield indirection;\n" +
 			"xdp: 3 kfuncs + software recompute beyond them; opendesc: generated\n" +
-			"fixed-offset accessors over the compiler-selected layout.",
-		Header: []string{"intent", "cmpt-bytes(od)", "skbuff", "mbuf", "xdp", "opendesc", "best-baseline/od"},
+			"fixed-offset accessors over the compiler-selected layout.\n" +
+			"od-p50/od-p99: round-level ns/packet distribution (log2 buckets).",
+		Header: []string{"intent", "cmpt-bytes(od)", "skbuff", "mbuf", "xdp", "opendesc", "od-p50", "od-p99", "best-baseline/od"},
 	}
 	for _, it := range E4Intents {
 		st, err := newDatapathStacks(it.Sems, tr)
@@ -321,8 +343,10 @@ func E4Datapath(packets int, minDur time.Duration) (*Table, error) {
 				best = r[k]
 			}
 		}
+		od := st.Hists["opendesc"]
 		t.AddRow(it.Name, st.SelBytes,
 			r["skbuff"], r["mbuf"], r["xdp"], r["opendesc"],
+			od.Quantile(0.50), od.Quantile(0.99),
 			fmt.Sprintf("%.2fx", best/r["opendesc"]))
 	}
 	return t, nil
@@ -376,7 +400,7 @@ func E9MbufDyn(minDur time.Duration) (*Table, error) {
 		}
 		var mb baseline.Mbuf
 		var sink uint64
-		mbufNs := measure(samples, minDur, func(s *Sample) {
+		mbufNs := measure(samples, minDur, nil, func(s *Sample) {
 			drv.Fill(&mb, s.Cmpt, len(s.Packet))
 			for _, acc := range accs {
 				v, _ := acc.Read(&mb)
@@ -396,7 +420,7 @@ func E9MbufDyn(minDur time.Duration) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		odNs := measure(sel, minDur, func(s *Sample) {
+		odNs := measure(sel, minDur, nil, func(s *Sample) {
 			for _, r := range readers {
 				sink += r.Read(s.Cmpt, s.Packet)
 			}

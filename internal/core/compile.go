@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"opendesc/internal/obs"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/semantics"
 )
@@ -126,25 +127,51 @@ func BuildDeparserGraph(spec DeparserSpec) (*Graph, error) {
 type CompileOptions struct {
 	Select    SelectOptions
 	Enumerate EnumerateOptions
+	// Trace, when non-nil, receives one timed span per pipeline stage
+	// (cfg → paths → select); the CLI adds the frontend (parse, sema) and
+	// backend (codegen) spans around the core.
+	Trace *obs.Trace
 }
 
 // Compile maps an application intent onto a NIC description: CFG extraction,
 // path characterization, Eq. 1 optimization, and host accessor synthesis.
 func Compile(nicName string, spec DeparserSpec, intent *Intent, opts CompileOptions) (*Result, error) {
+	span := func(stage string) *obs.Span {
+		if opts.Trace == nil {
+			return nil
+		}
+		return opts.Trace.Start(stage)
+	}
+	sp := span("cfg")
 	g, err := BuildDeparserGraph(spec)
 	if err != nil {
 		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
 	}
+	if sp != nil {
+		sp.Annotate("nodes", len(g.Nodes)).Annotate("emits", g.EmitCount()).End()
+	}
+	sp = span("paths")
 	paths, err := EnumeratePaths(g, opts.Enumerate)
 	if err != nil {
 		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
 	}
+	if sp != nil {
+		sp.Annotate("paths", len(paths)).End()
+	}
+	sp = span("select")
 	selOpts := opts.Select.withDefaults()
 	selOpts.Costs = intent.CostModel(selOpts.Costs)
 	req := intent.Req()
 	best, scored, err := SelectPath(g.Control, paths, req, selOpts)
 	if err != nil {
 		return nil, fmt.Errorf("opendesc %s: %w", nicName, err)
+	}
+	if sp != nil {
+		sp.Annotate("candidates", len(scored)).
+			Annotate("selected", best.Path.ID).
+			Annotate("bytes", best.Path.SizeBytes()).
+			Annotate("fields", len(intent.Fields)).
+			Annotate("missing", len(best.Missing)).End()
 	}
 	res := &Result{
 		NIC:      nicName,

@@ -2,10 +2,13 @@ package nicsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
+	"opendesc/internal/obs"
 	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
 )
 
 // The paper notes that "applications might use multiple OpenDesc instances
@@ -36,8 +39,9 @@ type MultiQueue struct {
 	Queues []*Device
 	steer  Steer
 
-	info    pkt.Info
-	dropped uint64
+	info       pkt.Info
+	dropped    obs.Counter // all drops: filtered, unsteerable, or queue full
+	steerDrops obs.Counter // drops by the steering stage alone
 }
 
 // NewMultiQueue builds a device with one queue per compilation result,
@@ -74,15 +78,77 @@ func (mq *MultiQueue) RxPacket(packet []byte) int {
 		q = mq.steer(&mq.info)
 	}
 	if q < 0 || q >= len(mq.Queues) {
-		mq.dropped++
+		mq.steerDrops.Inc()
+		mq.dropped.Inc()
 		return -1
 	}
 	if !mq.Queues[q].RxPacket(packet) {
-		mq.dropped++
+		mq.dropped.Inc()
 		return -1
 	}
 	return q
 }
 
 // Dropped returns the number of filtered or overflowed packets.
-func (mq *MultiQueue) Dropped() uint64 { return mq.dropped }
+func (mq *MultiQueue) Dropped() uint64 { return mq.dropped.Load() }
+
+// MultiQueueStats aggregates the per-queue device counters.
+type MultiQueueStats struct {
+	// Aggregate sums every queue's counters (per-path and per-semantic
+	// maps merged across queues).
+	Aggregate DeviceStats
+	// PerQueue holds each queue's own snapshot, indexed by queue id.
+	PerQueue []DeviceStats
+	// SteerDrops counts packets the steering stage filtered or could not
+	// assign; queue-full drops appear in the per-queue Drops instead.
+	SteerDrops uint64
+}
+
+// Stats snapshots and aggregates all queues. Safe to call concurrently
+// with packet delivery.
+func (mq *MultiQueue) Stats() MultiQueueStats {
+	st := MultiQueueStats{
+		SteerDrops: mq.steerDrops.Load(),
+		PerQueue:   make([]DeviceStats, len(mq.Queues)),
+	}
+	agg := &st.Aggregate
+	agg.CompletionsByPath = make(map[int]uint64)
+	agg.Offloads = make(map[semantics.Name]uint64)
+	for i, q := range mq.Queues {
+		qs := q.Stats()
+		st.PerQueue[i] = qs
+		agg.RxPackets += qs.RxPackets
+		agg.RxBytes += qs.RxBytes
+		agg.Drops += qs.Drops
+		agg.Completions += qs.Completions
+		agg.CompletionBytes += qs.CompletionBytes
+		for id, n := range qs.CompletionsByPath {
+			agg.CompletionsByPath[id] += n
+		}
+		for name, n := range qs.Offloads {
+			agg.Offloads[name] += n
+		}
+		agg.Ring.Produced += qs.Ring.Produced
+		agg.Ring.Consumed += qs.Ring.Consumed
+		agg.Ring.FullStalls += qs.Ring.FullStalls
+		agg.Ring.EmptyStalls += qs.Ring.EmptyStalls
+		agg.Ring.Occupancy += qs.Ring.Occupancy
+		if qs.Ring.HighWater > agg.Ring.HighWater {
+			agg.Ring.HighWater = qs.Ring.HighWater
+		}
+	}
+	// Steering drops are device-level drops too.
+	agg.Drops += st.SteerDrops
+	return st
+}
+
+// RegisterMetrics exposes every queue's counters (labelled queue="N") plus
+// the steering-stage drop counter on reg.
+func (mq *MultiQueue) RegisterMetrics(reg *obs.Registry, extra ...obs.Label) {
+	for i, q := range mq.Queues {
+		labels := append(append([]obs.Label{}, extra...), obs.L("queue", strconv.Itoa(i)))
+		q.RegisterMetrics(reg, labels...)
+	}
+	base := append([]obs.Label{obs.L("nic", mq.Model.Name)}, extra...)
+	reg.AttachCounter("opendesc_mq_steer_drops_total", "packets filtered or unassignable by the steering stage", &mq.steerDrops, base...)
+}

@@ -10,11 +10,14 @@ package nicsim
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"opendesc/internal/bitfield"
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
+	"opendesc/internal/obs"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/pkt"
 	"opendesc/internal/ring"
@@ -72,9 +75,21 @@ type Device struct {
 	// buffer slot i modulo pool size.
 	Buffers *ring.BufferPool
 
-	clock   uint64
-	rxCount uint64
-	drops   uint64
+	clock uint64
+
+	// Ethtool-style device counters (atomic: the RX path runs on one
+	// goroutine, but stats may be scraped from another at any time).
+	rxPackets obs.Counter
+	rxBytes   obs.Counter
+	drops     obs.Counter
+	cmptBytes obs.Counter
+	// pathHits counts completions per enumerated path (index into paths).
+	pathHits []obs.Counter
+	// offloads counts per-semantic offload-engine invocations.
+	offloads map[semantics.Name]*obs.Counter
+	// curPath caches the index of the path the current context selects;
+	// −1 means "recompute on next packet" (set by WriteReg).
+	curPath atomic.Int32
 
 	// metaParams are the deparser parameters whose fields feed the emit
 	// environment (context param excluded).
@@ -111,7 +126,15 @@ func New(m *nic.Model, cfg Config) (*Device, error) {
 		Buffers:  ring.MustNewBufferPool(cfg.BufSize, cfg.RingEntries),
 		envBuf:   make(sema.MapEnv),
 		cmptBuf:  make([]byte, maxCompletionBytes),
+		pathHits: make([]obs.Counter, len(paths)),
+		offloads: make(map[semantics.Name]*obs.Counter, len(offloadSemantics)),
 	}
+	// Pre-create the per-semantic counters so the hot path never mutates
+	// the map (a concurrent scraper may be iterating it).
+	for _, s := range offloadSemantics {
+		d.offloads[s] = &obs.Counter{}
+	}
+	d.curPath.Store(-1)
 	inst := g.Instance()
 	for _, p := range inst.Params {
 		ct, ok := p.Type.(*sema.CompositeType)
@@ -145,6 +168,7 @@ func MustNew(m *nic.Model, cfg Config) *Device {
 // "ctx.use_rss".
 func (d *Device) WriteReg(path string, v uint64) {
 	d.ctx[path] = sema.UintValue(v, 64)
+	d.curPath.Store(-1) // context changed: re-resolve the active path lazily
 }
 
 // ReadReg returns a context register value (0 when never written).
@@ -219,8 +243,112 @@ func (d *Device) ActivePath() (*core.Path, error) {
 // struct the control channel programs), e.g. "ctx".
 func (d *Device) ContextParam() string { return d.ctxParam }
 
-// Stats reports device counters.
-func (d *Device) Stats() (rx, drops uint64) { return d.rxCount, d.drops }
+// offloadSemantics is every semantic the simulated offload engines can
+// compute; the per-semantic invocation counters are pre-created from this
+// list so RxPacket never mutates the counter map.
+var offloadSemantics = []semantics.Name{
+	semantics.PktLen, semantics.Timestamp, semantics.QueueID, semantics.Mark,
+	semantics.CryptoCtx, semantics.LROSegs, semantics.SegCnt, semantics.RXDropHint,
+	semantics.ErrorFlags, semantics.RSS, semantics.IPChecksum, semantics.L4Checksum,
+	semantics.VLAN, semantics.PType, semantics.FlowID, semantics.IPID,
+	semantics.KVKey, semantics.PayloadHash, semantics.TunnelID, semantics.L4Port,
+	semantics.DecapFlag, semantics.ChecksumAny, semantics.ParserDepth,
+}
+
+// DeviceStats is a point-in-time snapshot of a device's ethtool-style
+// counters.
+type DeviceStats struct {
+	// RxPackets counts packets accepted end-to-end (completion DMAed);
+	// Drops counts packets rejected anywhere in the RX path.
+	RxPackets uint64
+	RxBytes   uint64
+	Drops     uint64
+	// Completions mirrors RxPackets (one completion per accepted packet);
+	// CompletionBytes is the total completion-record DMA volume.
+	Completions     uint64
+	CompletionBytes uint64
+	// CompletionsByPath counts completions per enumerated deparser path,
+	// keyed by path ID.
+	CompletionsByPath map[int]uint64
+	// Offloads counts per-semantic offload-engine invocations.
+	Offloads map[semantics.Name]uint64
+	// Ring is the completion ring's counter snapshot.
+	Ring ring.Stats
+}
+
+// Stats returns a snapshot of the device counters. Safe to call while
+// another goroutine is receiving packets. Maps contain only non-zero
+// entries.
+func (d *Device) Stats() DeviceStats {
+	st := DeviceStats{
+		RxPackets:         d.rxPackets.Load(),
+		RxBytes:           d.rxBytes.Load(),
+		Drops:             d.drops.Load(),
+		Completions:       d.rxPackets.Load(),
+		CompletionBytes:   d.cmptBytes.Load(),
+		CompletionsByPath: make(map[int]uint64),
+		Offloads:          make(map[semantics.Name]uint64),
+		Ring:              d.CmptRing.Stats(),
+	}
+	for i := range d.pathHits {
+		if n := d.pathHits[i].Load(); n > 0 {
+			st.CompletionsByPath[d.paths[i].ID] = n
+		}
+	}
+	for name, c := range d.offloads {
+		if n := c.Load(); n > 0 {
+			st.Offloads[name] = n
+		}
+	}
+	return st
+}
+
+// activePathIndex resolves (and caches) the index of the path the current
+// context registers select; −1 when no path matches.
+func (d *Device) activePathIndex() int {
+	if idx := d.curPath.Load(); idx >= 0 {
+		return int(idx)
+	}
+	p, err := d.ActivePath()
+	if err != nil {
+		return -1
+	}
+	for i := range d.paths {
+		if d.paths[i] == p {
+			d.curPath.Store(int32(i))
+			return i
+		}
+	}
+	return -1
+}
+
+// RegisterMetrics exposes the device counters (and its completion ring's)
+// on an obs registry, labelled with the NIC model name plus any extra
+// labels (e.g. the queue id). Idempotent per registry and label set.
+func (d *Device) RegisterMetrics(reg *obs.Registry, extra ...obs.Label) {
+	base := append([]obs.Label{obs.L("nic", d.Model.Name)}, extra...)
+	reg.AttachCounter("opendesc_dev_rx_packets_total", "packets accepted by the simulated device", &d.rxPackets, base...)
+	reg.AttachCounter("opendesc_dev_rx_bytes_total", "packet bytes accepted by the simulated device", &d.rxBytes, base...)
+	reg.AttachCounter("opendesc_dev_drops_total", "packets dropped in the RX path", &d.drops, base...)
+	reg.AttachCounter("opendesc_dev_completion_bytes_total", "completion-record bytes DMAed", &d.cmptBytes, base...)
+	for i := range d.pathHits {
+		labels := append(append([]obs.Label{}, base...), obs.L("path", strconv.Itoa(d.paths[i].ID)))
+		reg.AttachCounter("opendesc_dev_path_completions_total", "completions emitted per deparser path", &d.pathHits[i], labels...)
+	}
+	for _, s := range offloadSemantics {
+		labels := append(append([]obs.Label{}, base...), obs.L("semantic", string(s)))
+		reg.AttachCounter("opendesc_dev_offload_invocations_total", "offload-engine invocations per semantic", d.offloads[s], labels...)
+	}
+	r := d.CmptRing
+	rl := append(append([]obs.Label{}, base...), obs.L("ring", "cmpt"))
+	reg.CounterFunc("opendesc_ring_produced_total", "entries published to the ring", func() uint64 { return r.Stats().Produced }, rl...)
+	reg.CounterFunc("opendesc_ring_consumed_total", "entries released from the ring", func() uint64 { return r.Stats().Consumed }, rl...)
+	reg.CounterFunc("opendesc_ring_full_stalls_total", "rejected produce attempts (ring full)", func() uint64 { return r.Stats().FullStalls }, rl...)
+	reg.CounterFunc("opendesc_ring_empty_stalls_total", "failed consume attempts (ring empty)", func() uint64 { return r.Stats().EmptyStalls }, rl...)
+	reg.GaugeFunc("opendesc_ring_occupancy", "instantaneous ring fill level (entries)", func() int64 { return int64(r.Occupancy()) }, rl...)
+	reg.GaugeFunc("opendesc_ring_occupancy_highwater", "largest ring occupancy observed", func() int64 { return int64(r.Stats().HighWater) }, rl...)
+	reg.GaugeFunc("opendesc_ring_capacity", "ring capacity (entries)", func() int64 { return int64(r.Capacity()) }, rl...)
+}
 
 // RxPacket makes the device receive one packet from the wire: it DMAs the
 // packet into the next buffer slot, computes the offload metadata, walks the
@@ -228,25 +356,35 @@ func (d *Device) Stats() (rx, drops uint64) { return d.rxCount, d.drops }
 // It returns false when the completion ring is full (packet dropped, as
 // hardware would).
 func (d *Device) RxPacket(packet []byte) bool {
-	slot := int(d.rxCount) % d.Buffers.Count()
+	slot := int(d.rxPackets.Load()) % d.Buffers.Count()
 	if err := d.Buffers.Write(slot, packet); err != nil {
-		d.drops++
+		d.drops.Inc()
 		return false
 	}
 	d.clock += d.cfg.TimestampStep
 
 	vals := d.computeOffloads(packet)
+	for name := range vals {
+		if c := d.offloads[name]; c != nil {
+			c.Inc()
+		}
+	}
 	env := d.buildEnv(vals)
 	n, err := d.serializeCompletion(env, d.cmptBuf)
 	if err != nil {
-		d.drops++
+		d.drops.Inc()
 		return false
 	}
 	if !d.CmptRing.Push(d.cmptBuf[:n]) {
-		d.drops++
+		d.drops.Inc()
 		return false
 	}
-	d.rxCount++
+	d.rxPackets.Inc()
+	d.rxBytes.Add(uint64(len(packet)))
+	d.cmptBytes.Add(uint64(n))
+	if idx := d.activePathIndex(); idx >= 0 {
+		d.pathHits[idx].Inc()
+	}
 	return true
 }
 

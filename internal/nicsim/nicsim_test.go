@@ -230,8 +230,8 @@ func TestRingBackpressureDrops(t *testing.T) {
 	if accepted != 4 {
 		t.Errorf("accepted = %d, want ring capacity 4", accepted)
 	}
-	if _, drops := dev.Stats(); drops != 6 {
-		t.Errorf("drops = %d, want 6", drops)
+	if st := dev.Stats(); st.Drops != 6 {
+		t.Errorf("drops = %d, want 6", st.Drops)
 	}
 	// Draining the ring restores acceptance.
 	for dev.CmptRing.Pop() {

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry creates a registry with one of everything, at fixed
+// values, so the exposition output is deterministic.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("dev_rx_packets_total", "packets received", L("nic", "mlx5"), L("queue", "0"))
+	c.Add(42)
+	g := r.Gauge("ring_occupancy", "ring fill level", L("ring", "cmpt"))
+	g.Set(7)
+	g.Set(3)
+	h := r.Histogram("rx_latency_ns", "per-packet latency")
+	for _, v := range []uint64{1, 2, 3, 100, 1000, 1000} {
+		h.Observe(v)
+	}
+	r.CounterFunc("ring_produced_total", "entries produced", func() uint64 { return 9 })
+	r.GaugeFunc("ring_capacity", "ring slots", func() int64 { return 64 })
+	return r
+}
+
+const goldenPrometheus = `# HELP dev_rx_packets_total packets received
+# TYPE dev_rx_packets_total counter
+dev_rx_packets_total{nic="mlx5",queue="0"} 42
+# HELP ring_capacity ring slots
+# TYPE ring_capacity gauge
+ring_capacity 64
+# HELP ring_occupancy ring fill level
+# TYPE ring_occupancy gauge
+ring_occupancy{ring="cmpt"} 3
+# HELP ring_produced_total entries produced
+# TYPE ring_produced_total counter
+ring_produced_total 9
+# HELP rx_latency_ns per-packet latency
+# TYPE rx_latency_ns histogram
+rx_latency_ns_bucket{le="1"} 1
+rx_latency_ns_bucket{le="3"} 3
+rx_latency_ns_bucket{le="127"} 4
+rx_latency_ns_bucket{le="1023"} 6
+rx_latency_ns_bucket{le="+Inf"} 6
+rx_latency_ns_sum 2106
+rx_latency_ns_count 6
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	buildTestRegistry().WritePrometheus(&sb)
+	if got := sb.String(); got != goldenPrometheus {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+// parsePromLine splits a sample line into name, labels, value — a minimal
+// parser for the text exposition format.
+func parsePromLine(t *testing.T, line string) (name string, labels map[string]string, value float64) {
+	t.Helper()
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			t.Fatalf("malformed labels in %q", line)
+		}
+		for _, pair := range strings.Split(line[i+1:j], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				t.Fatalf("malformed label pair %q in %q", pair, line)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				t.Fatalf("label value %q not quoted in %q: %v", v, line, err)
+			}
+			labels[k] = unq
+		}
+		rest = line[j+1:]
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("no value in %q", line)
+		}
+		rest = " " + rest
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return name, labels, f
+}
+
+// TestPrometheusParsesLineByLine validates the exposition structurally:
+// every non-comment line must parse as name{labels} value, every series must
+// be preceded by a TYPE comment for its metric family, and histogram bucket
+// counts must be cumulative.
+func TestPrometheusParsesLineByLine(t *testing.T) {
+	var sb strings.Builder
+	buildTestRegistry().WritePrometheus(&sb)
+	typed := map[string]string{}
+	var lastBucketCum float64 = -1
+	var lastBucketMetric string
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, val := parsePromLine(t, line)
+		samples++
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Errorf("series %s has no TYPE declaration", name)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			if family != lastBucketMetric {
+				lastBucketCum = -1
+				lastBucketMetric = family
+			}
+			if val < lastBucketCum {
+				t.Errorf("bucket counts not cumulative at %q (le=%s): %v < %v", line, labels["le"], val, lastBucketCum)
+			}
+			lastBucketCum = val
+			if labels["le"] == "" {
+				t.Errorf("bucket line %q missing le label", line)
+			}
+		}
+	}
+	if samples != 11 {
+		t.Errorf("sample lines = %d, want 11", samples)
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	srv := httptest.NewServer(buildTestRegistry().Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if body != goldenPrometheus {
+		t.Errorf("/metrics mismatch:\n%s", body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("content type = %q", ctype)
+	}
+
+	body, ctype = get("/debug/vars")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("vars content type = %q", ctype)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars[`dev_rx_packets_total{nic="mlx5",queue="0"}`] != float64(42) {
+		t.Errorf("vars counter = %v", vars[`dev_rx_packets_total{nic="mlx5",queue="0"}`])
+	}
+	hist, ok := vars["rx_latency_ns"].(map[string]any)
+	if !ok || hist["count"] != float64(6) {
+		t.Errorf("vars histogram = %v", vars["rx_latency_ns"])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := buildTestRegistry().Table()
+	for _, want := range []string{
+		`dev_rx_packets_total{nic="mlx5",queue="0"}  42`,
+		"3 (max 7)",
+		"count=6",
+		"p99=1023",
+	} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, closer, err := buildTestRegistry().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != goldenPrometheus {
+		t.Errorf("served metrics mismatch:\n%s", b)
+	}
+}

@@ -1,0 +1,254 @@
+// Package obs is the repository's observability substrate: lock-free
+// counters, gauges and log-scale histograms, lightweight span tracing for
+// the compiler pipeline, and a registry that renders both a human-readable
+// table and Prometheus text exposition format (optionally over net/http).
+//
+// The package is dependency-free (stdlib only) and designed for hot-path
+// use: counters are single atomic words padded to a cache line so a device
+// goroutine, a host goroutine, and a stats scraper never false-share.
+// This is the software analogue of a NIC's ethtool/devlink counter block —
+// the paper argues metadata interfaces should be inspectable contracts,
+// and an interface you cannot observe is not inspectable.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed coherence granule; counters are padded to it so
+// adjacent metrics touched by different cores do not false-share.
+const cacheLine = 64
+
+// Counter is a monotonically increasing atomic counter (an ethtool-style
+// statistic). The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that also tracks its high-water
+// mark (the largest value ever Set). The zero value is ready to use.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+	_   [cacheLine - 16]byte
+}
+
+// Set stores v and raises the high-water mark when v exceeds it.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add adjusts the gauge by d and returns the new value (raising the
+// high-water mark as needed).
+func (g *Gauge) Add(d int64) int64 {
+	v := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return v
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Label is one key="value" dimension of a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates registry entries.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered series: a name, an ordered label set, and a
+// value source.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   kind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() uint64 // counter-func source
+	gf func() int64  // gauge-func source
+}
+
+// labelString renders {k="v",...} (empty string for no labels).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return s + "}"
+}
+
+// seriesKey uniquely identifies a metric within a registry.
+func seriesKey(name string, labels []Label) string { return name + labelString(labels) }
+
+// Registry holds a set of named metrics. Registration is mutex-guarded;
+// metric updates are lock-free; rendering takes a snapshot under the mutex
+// so it is safe concurrently with updates and further registration.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []*metric
+	byKey   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry used by the package-level helpers.
+var Default = NewRegistry()
+
+// register adds m unless a series with the same key exists, in which case
+// the existing one is returned (idempotent registration so components can
+// re-register on reconfiguration).
+func (r *Registry) register(m *metric) *metric {
+	key := seriesKey(m.name, m.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		return prev
+	}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: &Counter{}})
+	return m.c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: &Gauge{}})
+	return m.g
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: NewHistogram()})
+	return m.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for exposing counters owned by another subsystem (e.g. a ring's
+// produced count) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, gf: fn})
+}
+
+// AttachCounter registers an externally owned Counter under the given
+// series, so subsystems can keep their counters inline (hot, padded) and
+// still expose them.
+func (r *Registry) AttachCounter(name, help string, c *Counter, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: c})
+}
+
+// AttachGauge registers an externally owned Gauge.
+func (r *Registry) AttachGauge(name, help string, g *Gauge, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: g})
+}
+
+// AttachHistogram registers an externally owned Histogram.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: h})
+}
+
+// snapshot copies the metric list under the lock.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+// value reads the metric's current scalar value (histograms report count).
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.c.Load())
+	case kindGauge:
+		return float64(m.g.Load())
+	case kindCounterFunc:
+		return float64(m.fn())
+	case kindGaugeFunc:
+		return float64(m.gf())
+	case kindHistogram:
+		return float64(m.h.Count())
+	}
+	return 0
+}
+
+// sortedByName returns the snapshot grouped by metric name (registration
+// order within a name), as Prometheus exposition requires one HELP/TYPE
+// block per name.
+func (r *Registry) sortedByName() []*metric {
+	ms := r.snapshot()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}

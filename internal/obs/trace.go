@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trace is a lightweight span collector for a single pipeline run (e.g. one
+// OpenDesc compilation: parse → sema → cfg → paths → select → codegen).
+// A Trace is used by one goroutine; spans are recorded in start order.
+type Trace struct {
+	Name  string
+	spans []*Span
+	t0    time.Time
+}
+
+// Span is one timed, annotated pipeline stage.
+type Span struct {
+	Stage string
+	Start time.Time
+	Dur   time.Duration
+	notes []spanNote
+	done  bool
+}
+
+type spanNote struct {
+	key string
+	val string
+}
+
+// NewTrace starts a trace.
+func NewTrace(name string) *Trace {
+	return &Trace{Name: name, t0: time.Now()}
+}
+
+// Start opens a span for a stage. Spans may nest textually but are reported
+// flat, in start order.
+func (t *Trace) Start(stage string) *Span {
+	s := &Span{Stage: stage, Start: time.Now()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Annotate attaches a key=value note to the span (values are stringified
+// with %v). Returns the span for chaining.
+func (s *Span) Annotate(key string, val any) *Span {
+	s.notes = append(s.notes, spanNote{key: key, val: fmt.Sprintf("%v", val)})
+	return s
+}
+
+// End closes the span. Ending twice is a no-op.
+func (s *Span) End() {
+	if !s.done {
+		s.Dur = time.Since(s.Start)
+		s.done = true
+	}
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []*Span { return t.spans }
+
+// Span returns the first span for a stage name, or nil.
+func (t *Trace) Span(stage string) *Span {
+	for _, s := range t.spans {
+		if s.Stage == stage {
+			return s
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration compactly with µs precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Report renders the span table: stage, duration, share of total, notes.
+func (t *Trace) Report() string {
+	var total time.Duration
+	for _, s := range t.spans {
+		total += s.Dur
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s: %d stages, total %s\n", t.Name, len(t.spans), fmtDur(total))
+	width := len("stage")
+	for _, s := range t.spans {
+		if len(s.Stage) > width {
+			width = len(s.Stage)
+		}
+	}
+	for _, s := range t.spans {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Dur) / float64(total)
+		}
+		fmt.Fprintf(&sb, "  %-*s  %10s  %5.1f%%", width, s.Stage, fmtDur(s.Dur), share)
+		for _, n := range s.notes {
+			fmt.Fprintf(&sb, "  %s=%s", n.key, n.val)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

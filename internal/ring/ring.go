@@ -23,6 +23,60 @@ type Ring struct {
 	// simulated device goroutine and a host goroutine can share the ring.
 	head atomic.Uint32
 	tail atomic.Uint32
+
+	// Ethtool-style ring counters. Producer-owned and consumer-owned
+	// counters sit on separate cache lines (via the pad) so the SPSC halves
+	// do not false-share; all are atomic so a stats scraper may read them
+	// concurrently with the datapath.
+	produced   atomic.Uint64
+	fullStalls atomic.Uint64
+	highWater  atomic.Uint32 // occupancy high-water mark (entries)
+	_          [44]byte
+	consumed    atomic.Uint64
+	emptyStalls atomic.Uint64
+}
+
+// Stats is a snapshot of a ring's counters.
+type Stats struct {
+	// Produced / Consumed count successfully published / released entries.
+	Produced uint64
+	Consumed uint64
+	// FullStalls counts rejected produce attempts (ring full) and
+	// EmptyStalls failed consume attempts (ring empty) — the back-pressure
+	// signals a driver would watch.
+	FullStalls  uint64
+	EmptyStalls uint64
+	// Occupancy is the instantaneous fill level and HighWater the largest
+	// occupancy ever reached.
+	Occupancy int
+	HighWater int
+}
+
+// Stats returns a snapshot of the ring counters. Safe to call concurrently
+// with the producer and consumer.
+func (r *Ring) Stats() Stats {
+	return Stats{
+		Produced:    r.produced.Load(),
+		Consumed:    r.consumed.Load(),
+		FullStalls:  r.fullStalls.Load(),
+		EmptyStalls: r.emptyStalls.Load(),
+		Occupancy:   r.Len(),
+		HighWater:   int(r.highWater.Load()),
+	}
+}
+
+// Occupancy returns the number of filled entries (alias of Len, named for
+// the inspection API).
+func (r *Ring) Occupancy() int { return r.Len() }
+
+// noteProduced updates the producer-side counters after a publish at the
+// given occupancy. Only the producer calls this, so a load+store suffices
+// for the high-water mark.
+func (r *Ring) noteProduced(occ uint32) {
+	r.produced.Add(1)
+	if occ > r.highWater.Load() {
+		r.highWater.Store(occ)
+	}
 }
 
 // New creates a ring with the given entry size and capacity (rounded up to a
@@ -80,11 +134,14 @@ func (r *Ring) slot(idx uint32) []byte {
 // false when the ring is full.
 func (r *Ring) Produce(fill func(entry []byte)) bool {
 	tail := r.tail.Load()
-	if tail-r.head.Load() >= r.capacity {
+	head := r.head.Load()
+	if tail-head >= r.capacity {
+		r.fullStalls.Add(1)
 		return false
 	}
 	fill(r.slot(tail))
 	r.tail.Store(tail + 1)
+	r.noteProduced(tail + 1 - head)
 	return true
 }
 
@@ -107,10 +164,12 @@ func (r *Ring) Push(rec []byte) bool {
 func (r *Ring) Consume(use func(entry []byte)) bool {
 	head := r.head.Load()
 	if head == r.tail.Load() {
+		r.emptyStalls.Add(1)
 		return false
 	}
 	use(r.slot(head))
 	r.head.Store(head + 1)
+	r.consumed.Add(1)
 	return true
 }
 
@@ -129,9 +188,11 @@ func (r *Ring) Peek() []byte {
 func (r *Ring) Pop() bool {
 	head := r.head.Load()
 	if head == r.tail.Load() {
+		r.emptyStalls.Add(1)
 		return false
 	}
 	r.head.Store(head + 1)
+	r.consumed.Add(1)
 	return true
 }
 
@@ -141,6 +202,7 @@ func (r *Ring) ConsumeBatch(max int, use func(i int, entry []byte)) int {
 	head := r.head.Load()
 	avail := int(r.tail.Load() - head)
 	if avail == 0 {
+		r.emptyStalls.Add(1)
 		return 0
 	}
 	if max > 0 && avail > max {
@@ -150,10 +212,12 @@ func (r *Ring) ConsumeBatch(max int, use func(i int, entry []byte)) int {
 		use(i, r.slot(head+uint32(i)))
 	}
 	r.head.Store(head + uint32(avail))
+	r.consumed.Add(uint64(avail))
 	return avail
 }
 
-// Reset empties the ring.
+// Reset empties the ring. Counters are monotonic (ethtool semantics) and
+// survive a reset; only the occupancy drops to zero.
 func (r *Ring) Reset() {
 	r.head.Store(0)
 	r.tail.Store(0)

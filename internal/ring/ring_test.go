@@ -259,3 +259,125 @@ func TestBufferPool(t *testing.T) {
 		t.Error("negative index should be nil")
 	}
 }
+
+// TestStatsExactAcrossWrapAround tracks every counter against a shadow model
+// through several full wrap-arounds of the index space, including the
+// full and empty boundaries where stall counters must tick.
+func TestStatsExactAcrossWrapAround(t *testing.T) {
+	r := MustNew(1, 4)
+	var produced, consumed, fullStalls, emptyStalls uint64
+	occ, hwm := 0, 0
+
+	check := func(when string) {
+		t.Helper()
+		st := r.Stats()
+		want := Stats{
+			Produced: produced, Consumed: consumed,
+			FullStalls: fullStalls, EmptyStalls: emptyStalls,
+			Occupancy: occ, HighWater: hwm,
+		}
+		if st != want {
+			t.Fatalf("%s: stats = %+v, want %+v", when, st, want)
+		}
+		if r.Occupancy() != occ || r.Capacity() != 4 {
+			t.Fatalf("%s: occupancy=%d capacity=%d", when, r.Occupancy(), r.Capacity())
+		}
+	}
+
+	push := func() bool {
+		ok := r.Push([]byte{1})
+		if ok {
+			produced++
+			occ++
+			if occ > hwm {
+				hwm = occ
+			}
+		} else {
+			fullStalls++
+		}
+		return ok
+	}
+	pop := func() bool {
+		ok := r.Consume(func([]byte) {})
+		if ok {
+			consumed++
+			occ--
+		} else {
+			emptyStalls++
+		}
+		return ok
+	}
+
+	check("fresh")
+	// Empty boundary: consume on a fresh ring must stall.
+	pop()
+	check("empty stall")
+
+	// Fill to capacity, then hit the full boundary twice.
+	for i := 0; i < 4; i++ {
+		if !push() {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	check("full")
+	if push() || push() {
+		t.Fatal("push on full ring succeeded")
+	}
+	check("full stalls")
+
+	// Drain completely and hit the empty boundary again.
+	for occ > 0 {
+		pop()
+	}
+	pop()
+	check("drained")
+
+	// Three index wrap-arounds at varying fill levels. The high-water mark
+	// must stay at capacity from the earlier fill, never reset.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			push()
+			push()
+			pop()
+			pop()
+		}
+		check("wrap round")
+	}
+	if hwm != 4 {
+		t.Fatalf("shadow high-water = %d, want 4", hwm)
+	}
+
+	// Reset empties occupancy but keeps monotonic counters (ethtool
+	// semantics).
+	push()
+	push()
+	r.Reset()
+	occ = 0
+	check("after reset")
+}
+
+// TestStatsConsumeBatchAndPop covers the remaining consume paths.
+func TestStatsConsumeBatchAndPop(t *testing.T) {
+	r := MustNew(1, 8)
+	for i := 0; i < 6; i++ {
+		r.Push([]byte{byte(i)})
+	}
+	if n := r.ConsumeBatch(4, func(int, []byte) {}); n != 4 {
+		t.Fatalf("batch = %d", n)
+	}
+	r.Peek()
+	r.Pop()
+	st := r.Stats()
+	if st.Produced != 6 || st.Consumed != 5 || st.Occupancy != 1 || st.HighWater != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r.Pop()
+	if r.Pop() { // empty
+		t.Fatal("pop on empty")
+	}
+	r.ConsumeBatch(4, func(int, []byte) {}) // empty
+	st = r.Stats()
+	if st.Consumed != 6 || st.EmptyStalls != 2 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}

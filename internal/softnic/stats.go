@@ -1,0 +1,94 @@
+package softnic
+
+import (
+	"time"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/obs"
+	"opendesc/internal/semantics"
+)
+
+// ShimStats attributes SoftNIC emulation work per semantic: how often each
+// shim ran and how many nanoseconds it consumed. This makes the w(s)
+// software-emulation cost term of the layout optimizer (Eq. 1) directly
+// measurable on the running datapath instead of only modelled.
+type ShimStats struct {
+	calls map[semantics.Name]*obs.Counter
+	nanos map[semantics.Name]*obs.Counter
+}
+
+// NewShimStats creates counters for every emulable semantic and, when reg
+// is non-nil, registers them as
+// opendesc_softnic_calls_total{semantic=...} and
+// opendesc_softnic_nanos_total{semantic=...}.
+func NewShimStats(reg *obs.Registry) *ShimStats {
+	st := &ShimStats{
+		calls: make(map[semantics.Name]*obs.Counter),
+		nanos: make(map[semantics.Name]*obs.Counter),
+	}
+	for name := range Funcs() {
+		st.calls[name] = &obs.Counter{}
+		st.nanos[name] = &obs.Counter{}
+		if reg != nil {
+			l := obs.L("semantic", string(name))
+			reg.AttachCounter("opendesc_softnic_calls_total", "SoftNIC shim invocations per semantic", st.calls[name], l)
+			reg.AttachCounter("opendesc_softnic_nanos_total", "nanoseconds spent in SoftNIC shims per semantic", st.nanos[name], l)
+		}
+	}
+	return st
+}
+
+// ShimCost is one semantic's accumulated emulation cost.
+type ShimCost struct {
+	Calls uint64
+	Nanos uint64
+}
+
+// Snapshot returns the per-semantic call and nanosecond totals (non-zero
+// entries only).
+func (st *ShimStats) Snapshot() map[semantics.Name]ShimCost {
+	out := make(map[semantics.Name]ShimCost)
+	for name, c := range st.calls {
+		calls := c.Load()
+		if calls == 0 {
+			continue
+		}
+		out[name] = ShimCost{Calls: calls, Nanos: st.nanos[name].Load()}
+	}
+	return out
+}
+
+// MeasuredCost returns the observed mean ns/call for a semantic (0 when the
+// shim never ran) — the runtime-measured counterpart of the static cost
+// table and of Calibrate.
+func (st *ShimStats) MeasuredCost(name semantics.Name) float64 {
+	c := st.calls[name]
+	if c == nil {
+		return 0
+	}
+	calls := c.Load()
+	if calls == 0 {
+		return 0
+	}
+	return float64(st.nanos[name].Load()) / float64(calls)
+}
+
+// InstrumentedFuncs wraps Funcs() so every shim call increments its call
+// counter and attributes its wall time. The timing costs one monotonic
+// clock read pair per call (~tens of ns), so instrumented funcs are meant
+// for observed runs (cmd/nicsim -stats); benchmarks keep the bare Funcs().
+func InstrumentedFuncs(st *ShimStats) map[semantics.Name]codegen.SoftFunc {
+	out := make(map[semantics.Name]codegen.SoftFunc)
+	for name, f := range Funcs() {
+		name, f := name, f
+		calls, nanos := st.calls[name], st.nanos[name]
+		out[name] = func(packet []byte) uint64 {
+			start := time.Now()
+			v := f(packet)
+			nanos.Add(uint64(time.Since(start).Nanoseconds()))
+			calls.Inc()
+			return v
+		}
+	}
+	return out
+}

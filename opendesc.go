@@ -31,6 +31,7 @@ import (
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
 	"opendesc/internal/p4/parser"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/semantics"
@@ -260,4 +261,18 @@ func (d *Driver) CompletionBytes() int { return d.Result.CompletionBytes() }
 func (d *Driver) Report() string { return d.Result.Report() }
 
 // Stats returns device counters (packets received, drops).
-func (d *Driver) Stats() (rx, drops uint64) { return d.dev.Stats() }
+func (d *Driver) Stats() (rx, drops uint64) {
+	st := d.dev.Stats()
+	return st.RxPackets, st.Drops
+}
+
+// DeviceStats returns the full ethtool-style counter snapshot of the
+// underlying simulated device (per-path completions, per-semantic offload
+// invocations, completion-ring occupancy and stalls).
+func (d *Driver) DeviceStats() nicsim.DeviceStats { return d.dev.Stats() }
+
+// RegisterMetrics exposes the driver's device and ring counters on an obs
+// registry (rendered by Registry.Table, /metrics, or /debug/vars).
+func (d *Driver) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	d.dev.RegisterMetrics(reg, labels...)
+}
