@@ -21,6 +21,7 @@ import (
 
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
+	"opendesc/internal/evolve"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
@@ -39,6 +40,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-packet metadata")
 		stats     = flag.Bool("stats", false, "dump ethtool-style device/ring/shim counters on exit")
 		statsAddr = flag.String("stats-addr", "", "serve /metrics (Prometheus) and /debug/vars on this address while running")
+		evolveRun = flag.Bool("evolve", false, "run the live-renegotiation demo: shift the read mix mid-run and report switchovers")
 	)
 	flag.Parse()
 
@@ -56,6 +58,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *evolveRun {
+		runEvolve(model, intent, names, *packets, *statsAddr, *stats)
+		return
+	}
+
 	res, err := model.Compile(intent, core.CompileOptions{})
 	if err != nil {
 		fatal(err)
@@ -164,6 +171,109 @@ func main() {
 	_ = pkt.EthHeaderLen
 
 	if *statsAddr != "" {
+		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// runEvolve is the live-renegotiation demo: it drives a workload whose
+// application read mix flips halfway through the run (hot semantic: first
+// requested name, then last) through the internal/evolve engine, printing a
+// line per switchover and the final control-plane counters + change report.
+func runEvolve(model *nic.Model, intent *core.Intent, names []semantics.Name, packets int, statsAddr string, dump bool) {
+	if len(names) < 2 {
+		fatal(fmt.Errorf("-evolve needs at least two requested semantics to shift between"))
+	}
+	eng, err := evolve.New(model, intent, core.CompileOptions{}, evolve.Options{
+		Interval:  256,
+		MinWindow: 128,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(eng.Result().Report())
+
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg, obs.L("queue", "0"))
+	if statsAddr != "" {
+		addr, _, err := reg.Serve(statsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stats endpoint: http://%s/metrics (Prometheus), http://%s/debug/vars (JSON)\n", addr, addr)
+	}
+
+	spec := workload.DefaultSpec()
+	spec.Packets = packets
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	half := len(tr.Packets) / 2
+	hotA, hotB := names[len(names)-1], names[0]
+	fmt.Printf("\nevolving %s under %d packets: hot read %s, shifting to %s at packet %d\n",
+		model.Name, len(tr.Packets), hotA, hotB, half)
+	lastGen := eng.Generation()
+	for i, p := range tr.Packets {
+		hot := hotA
+		if i >= half {
+			hot = hotB
+		}
+		if i == half {
+			fmt.Printf("pkt %5d: --- feature-mix shift: hot read %s -> %s ---\n", i, hotA, hotB)
+		}
+		if !eng.Rx(p) {
+			fatal(fmt.Errorf("rx stalled at packet %d", i))
+		}
+		idx := i
+		eng.Poll(func(pkt, cmpt []byte, rt *codegen.Runtime) {
+			for _, n := range names {
+				if n != hot && idx%16 != 0 {
+					continue
+				}
+				if _, err := rt.Read(n, cmpt, pkt); err == nil {
+					eng.NoteRead(n)
+				}
+			}
+		})
+		if g := eng.Generation(); g != lastGen {
+			lastGen = g
+			st := eng.Stats()
+			fmt.Printf("pkt %5d: switchover -> generation %d, hardware now %s (%dB), drained %d, latency p50 %dns\n",
+				i, g, eng.Result().HardwareSet(), eng.Result().CompletionBytes(),
+				st.PacketsDrained, st.SwitchLatencyP50)
+			if d := eng.LastDiff(); d != nil {
+				for _, line := range strings.Split(strings.TrimRight(d.String(), "\n"), "\n") {
+					fmt.Printf("           %s\n", line)
+				}
+			}
+		}
+	}
+
+	st := eng.Stats()
+	devst := eng.Device().Stats()
+	fmt.Printf("\ndone: rx=%d drops=%d delivered=%d\n", devst.RxPackets, devst.Drops, st.Delivered)
+	fmt.Printf("control plane: generation=%d renegotiations=%d switchovers=%d rollbacks=%d unsat=%d switch-drops=%d (must be 0)\n",
+		st.Generation, st.Renegotiations, st.Switchovers, st.Rollbacks, st.Unsat, st.SwitchDrops)
+	if len(st.Reads) > 0 {
+		fmt.Printf("read mix:")
+		for _, n := range names {
+			if c, ok := st.Reads[n]; ok {
+				fmt.Printf(" %s=%d", n, c)
+			}
+		}
+		fmt.Println()
+	}
+	if dump {
+		fmt.Printf("\ndevice/ring/shim/evolve counters (%s):\n%s", model.Name, reg.Table())
+	}
+	if st.SwitchDrops != 0 {
+		fatal(fmt.Errorf("%d packets dropped across switchovers", st.SwitchDrops))
+	}
+	if statsAddr != "" {
 		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)

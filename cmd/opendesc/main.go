@@ -47,6 +47,7 @@ func main() {
 		noPrune    = flag.Bool("no-prune", false, "disable symbolic path pruning (debugging)")
 		plan       = flag.Bool("plan", false, "print the offload placement plan (software vs programmable pipeline)")
 		traceFlag  = flag.Bool("trace", false, "print a per-stage compile span report (parse → sema → cfg → paths → select → codegen)")
+		diffMode   = flag.Bool("diff", false, "compare two NIC descriptions under one intent: opendesc -diff old.p4 new.p4 -req ... (or -intent)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,31 @@ func main() {
 			fmt.Printf("%-8s %-22s %-12s %d completion paths — %s\n",
 				m.Name, m.Vendor, m.Kind, len(paths), m.Description)
 		}
+		return
+	}
+	if *diffMode {
+		// Standard flag parsing stops at the first positional argument, so
+		// `-diff old.p4 new.p4 -intent app.p4` leaves the trailing intent
+		// flags unparsed; pick up the two descriptions and re-parse the rest.
+		args := flag.Args()
+		if len(args) < 2 {
+			fatal(fmt.Errorf("-diff needs two NIC descriptions (old new), got %d", len(args)))
+		}
+		if err := flag.CommandLine.Parse(args[2:]); err != nil {
+			fatal(err)
+		}
+		if flag.NArg() > 0 {
+			fatal(fmt.Errorf("-diff: unexpected arguments %v", flag.Args()))
+		}
+		intent, err := loadIntent(*intentFile, *intentHdr, *req)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := runDiff(args[0], args[1], intent, *alpha)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
 		return
 	}
 	if *nicArg == "" {
@@ -145,6 +171,47 @@ func main() {
 	if tr != nil {
 		fmt.Print(tr.Report())
 	}
+}
+
+// runDiff compiles the same intent against two NIC descriptions (bundled
+// model names or .p4 files) and renders the interface drift report — which
+// accessors moved, resized, or fell back to software, and whether the drift
+// breaks fixed-offset readers or only regenerated accessors.
+func runDiff(oldArg, newArg string, intent *core.Intent, alpha float64) (string, error) {
+	oldSpec, oldName, err := loadNIC(oldArg)
+	if err != nil {
+		return "", err
+	}
+	newSpec, newName, err := loadNIC(newArg)
+	if err != nil {
+		return "", err
+	}
+	opts := core.CompileOptions{Select: core.SelectOptions{Alpha: alpha}}
+	oldRes, err := core.Compile(oldName, oldSpec, intent, opts)
+	if err != nil {
+		return "", fmt.Errorf("compiling against %s: %w", oldName, err)
+	}
+	newRes, err := core.Compile(newName, newSpec, intent, opts)
+	if err != nil {
+		return "", fmt.Errorf("compiling against %s: %w", newName, err)
+	}
+	d, err := core.DiffResults(oldRes, newRes)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OpenDesc interface drift: %s -> %s under intent %s\n",
+		oldName, newName, intent.Req())
+	sb.WriteString(d.String())
+	switch {
+	case len(d.LostSemantics()) > 0:
+		fmt.Fprintf(&sb, "verdict: BREAKING — semantics lost: %v\n", d.LostSemantics())
+	case d.Breaking():
+		sb.WriteString("verdict: breaking for fixed-offset readers; regenerated accessors stay correct\n")
+	default:
+		sb.WriteString("verdict: compatible — no accessor drift\n")
+	}
+	return sb.String(), nil
 }
 
 // loadNIC resolves a bundled model name or a .p4 file into a deparser spec.

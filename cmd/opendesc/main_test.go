@@ -1,8 +1,10 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"opendesc/internal/semantics"
@@ -103,5 +105,67 @@ header intent_t {
 	// File and req together are rejected.
 	if _, err := loadIntent(path, "", "rss"); err == nil {
 		t.Error("-intent and -req must be mutually exclusive")
+	}
+}
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files under testdata/")
+
+func TestRunDiffGolden(t *testing.T) {
+	intent, err := loadIntent("", "", "rss,vlan,pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runDiff("e1000", "e1000e", intent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "diff_e1000_e1000e.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("diff report drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestRunDiffIdentical(t *testing.T) {
+	intent, err := loadIntent("", "", "rss,pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runDiff("ixgbe", "ixgbe", intent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compatible — no accessor drift") {
+		t.Errorf("self-diff not compatible:\n%s", out)
+	}
+}
+
+func TestRunDiffErrors(t *testing.T) {
+	intent, err := loadIntent("", "", "rss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runDiff("notanic", "e1000e", intent, 0); err == nil {
+		t.Error("unknown old model should fail")
+	}
+	if _, err := runDiff("e1000e", "notanic", intent, 0); err == nil {
+		t.Error("unknown new model should fail")
+	}
+	// An intent one side cannot satisfy surfaces as a compile error naming
+	// the failing model.
+	ts, err := loadIntent("", "", "timestamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runDiff("e1000", "mlx5", ts, 0); err == nil || !strings.Contains(err.Error(), "e1000") {
+		t.Errorf("unsat old side: err = %v, want mention of e1000", err)
 	}
 }

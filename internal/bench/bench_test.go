@@ -335,3 +335,48 @@ func TestE14OffloadPlanShape(t *testing.T) {
 		}
 	}
 }
+
+func TestE15EvolveShape(t *testing.T) {
+	tab, err := E15Evolve(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (phase, driver) → cost and adapt columns.
+	cost := map[string]float64{}
+	adapt := map[string]string{}
+	for _, r := range tab.Rows {
+		key := r[0] + "/" + r[1]
+		var c float64
+		if _, err := fmt.Sscanf(r[4], "%f", &c); err != nil {
+			t.Fatalf("row %v: bad cost %q", r, r[4])
+		}
+		cost[key] = c
+		adapt[key] = r[5]
+	}
+	// Phase 1 is the mix the static compile is optimal for: the evolving
+	// driver must hold the pinned layout, not flap.
+	if cost["csum-heavy/evolving"] != cost["csum-heavy/pinned"] {
+		t.Errorf("phase 1: evolving cost %.1f != pinned %.1f (should stay pinned)",
+			cost["csum-heavy/evolving"], cost["csum-heavy/pinned"])
+	}
+	if adapt["csum-heavy/evolving"] != "converged" {
+		t.Errorf("phase 1 adapt = %q, want converged", adapt["csum-heavy/evolving"])
+	}
+	// After the mid-run shift the evolving driver must end the phase on a
+	// strictly cheaper steady-state layout than the pinned one.
+	if cost["hash-heavy/evolving"] >= cost["hash-heavy/pinned"] {
+		t.Errorf("phase 2: evolving cost %.1f not below pinned %.1f",
+			cost["hash-heavy/evolving"], cost["hash-heavy/pinned"])
+	}
+	if adapt["hash-heavy/evolving"] == "converged" || adapt["hash-heavy/evolving"] == "-" {
+		t.Errorf("phase 2 adapt = %q, want a packet count", adapt["hash-heavy/evolving"])
+	}
+	// The loss counter lives in the note; E15Evolve errors when non-zero,
+	// but assert the rendered claim too.
+	if !strings.Contains(tab.Note, "drops=0") {
+		t.Errorf("note %q does not report drops=0", tab.Note)
+	}
+	if !strings.Contains(tab.Note, "switchovers=") {
+		t.Errorf("note %q missing switchover count", tab.Note)
+	}
+}

@@ -1,0 +1,69 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"opendesc/internal/nic"
+	"opendesc/internal/p4/lexer"
+	"opendesc/internal/p4/token"
+)
+
+// FuzzLex asserts the lexer's robustness invariants on arbitrary input: it
+// never panics, always terminates, token positions never run backwards, and
+// the stream stays at EOF once exhausted. Seeded with the six bundled NIC
+// interface descriptions (the realistic corpus) plus adversarial fragments.
+// This lives in an external test package so it can import internal/nic
+// without a cycle (nic → parser → lexer).
+func FuzzLex(f *testing.F) {
+	for _, m := range nic.All() {
+		f.Add(m.Source)
+	}
+	for _, s := range []string{
+		"",
+		"header h { bit<32> rss; } // trailing comment",
+		"/* unterminated block",
+		"\"unterminated string",
+		"0x 0b 0o 8w15 4s-2 1..5 ++ <= >= != &&& |+| ..",
+		"@semantic(\"rss\")\n#include <core.p4>\n",
+		"ident_ÿ�\x00mixed",
+		"\xf0\x9f\x92\xbe invalid \xff bytes",
+		"1234567890123456789012345678901234567890w1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Bound pathological inputs so the fuzzer doesn't time out on
+		// megabyte identifiers.
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		l := lexer.New("fuzz.p4", src)
+		l.KeepComments = true
+		l.KeepPreproc = true
+		prevOff := -1
+		n := 0
+		for {
+			tok := l.Next()
+			if tok.Kind == token.EOF {
+				break
+			}
+			if tok.Pos.Offset < prevOff {
+				t.Fatalf("token %d (%v %q) at offset %d before previous offset %d",
+					n, tok.Kind, tok.Lit, tok.Pos.Offset, prevOff)
+			}
+			prevOff = tok.Pos.Offset
+			n++
+			// Every non-EOF token consumes at least one byte, so the
+			// stream cannot produce more tokens than input bytes.
+			if n > len(src) {
+				t.Fatalf("%d tokens from %d bytes: lexer is not making progress", n, len(src))
+			}
+		}
+		// EOF is sticky.
+		for i := 0; i < 3; i++ {
+			if tok := l.Next(); tok.Kind != token.EOF {
+				t.Fatalf("Next after EOF returned %v %q", tok.Kind, tok.Lit)
+			}
+		}
+	})
+}

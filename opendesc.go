@@ -29,6 +29,7 @@ package opendesc
 import (
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
+	"opendesc/internal/evolve"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
@@ -60,6 +61,13 @@ type (
 	PipelineCaps = core.PipelineCaps
 	// OffloadPlan places missing features onto pipeline or software.
 	OffloadPlan = core.OffloadPlan
+	// Diff is the accessor-level comparison of two compilations (interface
+	// drift analysis, and the change report of a live switchover).
+	Diff = core.Diff
+	// EvolveOptions tunes the live interface-renegotiation control plane.
+	EvolveOptions = evolve.Options
+	// EvolveStats snapshots the renegotiation control-plane counters.
+	EvolveStats = evolve.Stats
 )
 
 // NICs lists the bundled NIC model names.
@@ -161,12 +169,18 @@ type Meta struct {
 	rt   *codegen.Runtime
 	cmpt []byte
 	pkt  []byte
+	// note, when non-nil, records each read for the renegotiation control
+	// plane (the live feature mix an evolving driver optimizes for).
+	note func(semantics.Name)
 }
 
 // Get returns the value of a semantic for the current packet: a constant
 // -time descriptor read when the selected layout carries it, the SoftNIC
 // shim otherwise. ok is false for semantics outside the compiled intent.
 func (m Meta) Get(sem string) (uint64, bool) {
+	if m.note != nil {
+		m.note(semantics.Name(sem))
+	}
 	v, err := m.rt.Read(semantics.Name(sem), m.cmpt, m.pkt)
 	if err != nil {
 		return 0, false
@@ -183,13 +197,29 @@ func (m Meta) Hardware(sem string) bool {
 
 // Driver is the generated minimalist driver datapath the paper's conclusion
 // aims at: a compiled intent, a configured (simulated) device, and the
-// accessor runtime, behind a two-call API.
+// accessor runtime, behind a two-call API. A driver opened with the Evolve
+// option additionally renegotiates the interface online (see Evolution).
 type Driver struct {
 	Result *Result
 
 	dev     *nicsim.Device
 	rt      *codegen.Runtime
 	pending [][]byte
+
+	// engine is non-nil for evolving drivers; the datapath then delegates
+	// to the renegotiation control plane.
+	engine *evolve.Engine
+}
+
+// OpenOptions bundles everything Open can be tuned with.
+type OpenOptions struct {
+	// Compile tunes path selection and enumeration.
+	Compile CompileOptions
+	// Evolve, when non-nil, arms the live interface-renegotiation control
+	// plane: the driver watches the application's read mix and the measured
+	// shim costs, and hot-swaps the descriptor layout when a better one
+	// emerges (generation-tagged, zero-loss switchovers).
+	Evolve *EvolveOptions
 }
 
 // Open compiles the intent for the NIC, programs a simulated device with the
@@ -204,11 +234,32 @@ func Open(nicName string, sems ...string) (*Driver, error) {
 
 // OpenIntent is Open with an explicit intent and compile options.
 func OpenIntent(nicName string, intent *Intent, opts CompileOptions) (*Driver, error) {
+	return OpenWith(nicName, intent, OpenOptions{Compile: opts})
+}
+
+// OpenEvolving is Open with live interface renegotiation enabled.
+func OpenEvolving(nicName string, opts EvolveOptions, sems ...string) (*Driver, error) {
+	intent, err := NewIntent("driver_intent", sems...)
+	if err != nil {
+		return nil, err
+	}
+	return OpenWith(nicName, intent, OpenOptions{Evolve: &opts})
+}
+
+// OpenWith is the full-control constructor behind Open and OpenIntent.
+func OpenWith(nicName string, intent *Intent, opts OpenOptions) (*Driver, error) {
 	m, err := nic.Load(nicName)
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Compile(intent, opts)
+	if opts.Evolve != nil {
+		eng, err := evolve.New(m, intent, opts.Compile, *opts.Evolve)
+		if err != nil {
+			return nil, err
+		}
+		return &Driver{Result: eng.Result(), dev: eng.Device(), engine: eng}, nil
+	}
+	res, err := m.Compile(intent, opts.Compile)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +280,9 @@ func OpenIntent(nicName string, intent *Intent, opts CompileOptions) (*Driver, e
 // Rx delivers one packet to the device (the simulated wire). It returns
 // false when the completion ring is full.
 func (d *Driver) Rx(packet []byte) bool {
+	if d.engine != nil {
+		return d.engine.Rx(packet)
+	}
 	if !d.dev.RxPacket(packet) {
 		return false
 	}
@@ -237,8 +291,19 @@ func (d *Driver) Rx(packet []byte) bool {
 }
 
 // Poll drains completed packets, invoking h for each with its metadata view,
-// and returns how many were processed.
+// and returns how many were processed. On an evolving driver this is also
+// the control-plane tick: every EvolveOptions.Interval delivered packets the
+// layout optimization is re-solved against the observed read mix, and a
+// winning candidate triggers a generation switchover (Result is updated to
+// the new generation's compilation).
 func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
+	if d.engine != nil {
+		n := d.engine.Poll(func(pkt, cmpt []byte, rt *codegen.Runtime) {
+			h(pkt, Meta{rt: rt, cmpt: cmpt, pkt: pkt, note: d.engine.NoteRead})
+		})
+		d.Result = d.engine.Result()
+		return n
+	}
 	n := 0
 	for n < len(d.pending) {
 		p := d.pending[n]
@@ -251,6 +316,25 @@ func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
 	}
 	d.pending = d.pending[:copy(d.pending, d.pending[n:])]
 	return n
+}
+
+// Evolution snapshots the renegotiation control-plane counters (generation,
+// switchovers, rollbacks, drained packets, switchover latency). The zero
+// snapshot is returned for drivers opened without the Evolve option.
+func (d *Driver) Evolution() EvolveStats {
+	if d.engine == nil {
+		return EvolveStats{}
+	}
+	return d.engine.Stats()
+}
+
+// LastDiff returns the change report of the most recent live switchover
+// (nil for pinned drivers and before the first switchover).
+func (d *Driver) LastDiff() *Diff {
+	if d.engine == nil {
+		return nil
+	}
+	return d.engine.LastDiff()
 }
 
 // CompletionBytes is the DMA footprint of each completion record under the
@@ -272,7 +356,12 @@ func (d *Driver) Stats() (rx, drops uint64) {
 func (d *Driver) DeviceStats() nicsim.DeviceStats { return d.dev.Stats() }
 
 // RegisterMetrics exposes the driver's device and ring counters on an obs
-// registry (rendered by Registry.Table, /metrics, or /debug/vars).
+// registry (rendered by Registry.Table, /metrics, or /debug/vars); evolving
+// drivers additionally expose the renegotiation control-plane series.
 func (d *Driver) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if d.engine != nil {
+		d.engine.RegisterMetrics(reg, labels...)
+		return
+	}
 	d.dev.RegisterMetrics(reg, labels...)
 }

@@ -238,3 +238,54 @@ func TestPlanOffloadsPublic(t *testing.T) {
 		t.Errorf("pushed = %v", plan.Pushed())
 	}
 }
+
+func TestOpenEvolvingDriver(t *testing.T) {
+	// e1000e with the Fig. 6 tension: the static compile carries the
+	// checksum in hardware; a hash-heavy read mix must renegotiate the
+	// interface onto the RSS path with zero loss.
+	drv, err := OpenEvolving("e1000e", EvolveOptions{
+		Interval:       128,
+		MinWindow:      64,
+		MinShimSamples: math.MaxUint64, // deterministic: static w(s)
+	}, "rss", "ip_checksum", "vlan", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.Evolution().Generation != 0 {
+		t.Fatal("fresh evolving driver should be at generation 0")
+	}
+	if drv.Result.HardwareSet().Has("rss") {
+		t.Fatalf("static compile should start on the csum path, got %s", drv.Result.HardwareSet())
+	}
+	p := pkt.NewBuilder().WithTCP(1, 443, 0x18).WithVLAN(7).Build()
+	for i := 0; i < 400; i++ {
+		if !drv.Rx(p) {
+			t.Fatalf("rx stalled at %d", i)
+		}
+		drv.Poll(func(packet []byte, meta Meta) {
+			if _, ok := meta.Get("rss"); !ok {
+				t.Fatal("rss read failed")
+			}
+			if _, ok := meta.Get("pkt_len"); !ok {
+				t.Fatal("pkt_len read failed")
+			}
+		})
+	}
+	st := drv.Evolution()
+	if st.Generation == 0 || st.Switchovers == 0 {
+		t.Fatalf("hash-heavy mix should have switched generations: %+v", st)
+	}
+	if st.SwitchDrops != 0 {
+		t.Fatalf("switch drops = %d, want exactly 0", st.SwitchDrops)
+	}
+	if !drv.Result.HardwareSet().Has("rss") {
+		t.Fatalf("Result should track the new generation, got %s", drv.Result.HardwareSet())
+	}
+	d := drv.LastDiff()
+	if d == nil || !d.Breaking() {
+		t.Fatalf("switchover should record a breaking-layout diff, got %v", d)
+	}
+	if rx, drops := drv.Stats(); rx != 400 || drops != 0 {
+		t.Fatalf("device rx=%d drops=%d, want 400/0", rx, drops)
+	}
+}
