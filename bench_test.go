@@ -1,8 +1,9 @@
-// Package opendesc hosts the repository-level benchmarks: one Benchmark per
+// This file hosts the repository-level benchmarks: one Benchmark per
 // experiment of DESIGN.md's index (tables E1–E14), driving the same harness
 // code as cmd/descbench through testing.B so `go test -bench=.` regenerates
-// every number.
-package opendesc
+// every number. It lives in the external test package because internal/bench
+// itself imports the root package (E16 drives the hardened public driver).
+package opendesc_test
 
 import (
 	"fmt"

@@ -47,6 +47,7 @@ func main() {
 		{"e13", bench.E13Pruning},
 		{"e14", bench.E14OffloadPlan},
 		{"e15", func() (*bench.Table, error) { return bench.E15Evolve(*packets * 4) }},
+		{"e16", func() (*bench.Table, error) { return bench.E16Faults(100_000) }},
 	}
 
 	want := map[string]bool{}
@@ -67,7 +68,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e15)\n", flag.Args())
+		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e16)\n", flag.Args())
 		os.Exit(1)
 	}
 }

@@ -10,6 +10,8 @@
 //	nicsim -nic qdma -req kv_key,rss -kv
 //	nicsim -nic mlx5 -req rss,kv_key -stats               # ethtool-style dump
 //	nicsim -nic mlx5 -req rss -stats-addr localhost:9100  # /metrics endpoint
+//	nicsim -nic e1000e -req rss,vlan,pkt_len \
+//	       -faults corrupt=1e-3,hang=2@5000 -seed 7       # hardened driver under injection
 package main
 
 import (
@@ -19,9 +21,11 @@ import (
 	"os/signal"
 	"strings"
 
+	"opendesc"
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
 	"opendesc/internal/evolve"
+	"opendesc/internal/faults"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
@@ -41,6 +45,8 @@ func main() {
 		stats     = flag.Bool("stats", false, "dump ethtool-style device/ring/shim counters on exit")
 		statsAddr = flag.String("stats-addr", "", "serve /metrics (Prometheus) and /debug/vars on this address while running")
 		evolveRun = flag.Bool("evolve", false, "run the live-renegotiation demo: shift the read mix mid-run and report switchovers")
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. corrupt=1e-3,drop=1e-4,hang=2@5000: run the hardened driver under injection and report detection/recovery")
+		seed      = flag.Uint64("seed", 1, "fault-injection PRNG seed (with -faults)")
 	)
 	flag.Parse()
 
@@ -60,6 +66,10 @@ func main() {
 	}
 	if *evolveRun {
 		runEvolve(model, intent, names, *packets, *statsAddr, *stats)
+		return
+	}
+	if *faultSpec != "" {
+		runFaults(model.Name, names, *packets, *faultSpec, *seed, *verbose, *statsAddr, *stats)
 		return
 	}
 
@@ -171,6 +181,152 @@ func main() {
 	_ = pkt.EthHeaderLen
 
 	if *statsAddr != "" {
+		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// runFaults drives the hardened public driver under a fault-injection plan
+// (DESIGN.md §21): every accepted packet must come back exactly once, in
+// order, with metadata matching the SoftNIC golden values, no matter which
+// faults fire. Prints the injected/detected/recovery report and exits
+// non-zero if any corruption leaks through or a packet is lost.
+func runFaults(nicName string, names []semantics.Name, packets int, spec string, seed uint64, verbose bool, statsAddr string, dump bool) {
+	plan, err := faults.ParseSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	plan.Seed = seed
+
+	sems := make([]string, len(names))
+	for i, n := range names {
+		sems[i] = string(n)
+	}
+	intent, err := opendesc.NewIntent("faults", sems...)
+	if err != nil {
+		fatal(err)
+	}
+	drv, err := opendesc.OpenWith(nicName, intent, opendesc.OpenOptions{
+		Harden: &opendesc.HardenOptions{Deep: true},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	inj := faults.New(plan)
+	drv.InjectFaults(inj)
+
+	// Observability: the facade registers driver hardening, device and
+	// injector counters in one call.
+	reg := obs.NewRegistry()
+	drv.RegisterMetrics(reg, obs.L("queue", "0"))
+	if statsAddr != "" {
+		addr, _, err := reg.Serve(statsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stats endpoint: http://%s/metrics (Prometheus), http://%s/debug/vars (JSON)\n", addr, addr)
+	}
+
+	tr, err := workload.Generate(workload.DefaultSpec())
+	if err != nil {
+		fatal(err)
+	}
+	golden := softnic.Funcs()
+
+	fmt.Printf("fault plan: %s (seed %d)\n", spec, seed)
+	fmt.Printf("pushing %d packets through hardened %s (deep validation on)...\n", packets, nicName)
+
+	queue := make([][]byte, 0, 512)
+	delivered, garbage, softCount := 0, 0, 0
+	h := func(p []byte, meta opendesc.Meta) {
+		if len(queue) == 0 || &p[0] != &queue[0][0] {
+			fatal(fmt.Errorf("delivery %d out of order or duplicated", delivered))
+		}
+		queue = queue[1:]
+		for _, n := range names {
+			got, ok := meta.Get(string(n))
+			if !ok {
+				continue
+			}
+			if !meta.Hardware(string(n)) {
+				softCount++
+			}
+			f, okG := golden[n]
+			if !okG || n == semantics.PktLen {
+				continue
+			}
+			want := f(p)
+			if a := drv.Result.Accessor(n); a != nil && a.WidthBits < 64 {
+				want &= (1 << a.WidthBits) - 1
+				got &= (1 << a.WidthBits) - 1
+			}
+			if got != want {
+				garbage++
+				if verbose {
+					fmt.Printf("  GARBAGE pkt %d: %s = %#x, want %#x\n", delivered, n, got, want)
+				}
+			}
+		}
+		delivered++
+	}
+	accepted := 0
+	for i := 0; i < packets; i++ {
+		p := tr.Packets[i%len(tr.Packets)]
+		tries := 0
+		for !drv.Rx(p) {
+			drv.Poll(h)
+			if tries++; tries > 1<<16 {
+				fatal(fmt.Errorf("rx stalled at packet %d", i))
+			}
+		}
+		accepted++
+		queue = append(queue, p)
+		if i%8 == 7 {
+			drv.Poll(h)
+		}
+	}
+	idle := 0
+	for i := 0; i < 1<<20 && idle < 4; i++ {
+		if drv.Poll(h) == 0 {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+
+	ist := inj.Stats()
+	fmt.Printf("\ninjected:")
+	for c := faults.Corrupt; c <= faults.Hang; c++ {
+		if n := ist.Injected[c]; n > 0 {
+			fmt.Printf(" %s=%d", c, n)
+		}
+	}
+	fmt.Printf(" (device ops=%d)\n", ist.Ops)
+
+	st := drv.Hardening()
+	fmt.Printf("detected: quarantined=%d stale=%d resync=%d spurious=%d\n",
+		st.Quarantined, st.StaleDrops, st.ResyncDrops, st.SpuriousCompletions)
+	for class, n := range st.RejectsByClass {
+		fmt.Printf("          validator rejects[%s]=%d\n", class, n)
+	}
+	fmt.Printf("recovery: device-faults=%d degraded-enters=%d reset-attempts=%d resets=%d config-retries=%d hardware-restores=%d\n",
+		st.DeviceFaults, st.DegradedEnters, st.ResetAttempts, st.Resets, st.ConfigRetries, st.HardwareRestores)
+
+	mode := "hardware"
+	if st.Degraded {
+		mode = "degraded (SoftNIC)"
+	}
+	fmt.Printf("delivered %d/%d exactly once, in order (%d via SoftNIC shims), %d garbage metadata reads; final mode: %s\n",
+		delivered, accepted, softCount, garbage, mode)
+	if dump {
+		fmt.Printf("\ndriver/device/injector counters (%s):\n%s", nicName, reg.Table())
+	}
+	if delivered != accepted || garbage > 0 {
+		os.Exit(1)
+	}
+	if statsAddr != "" {
 		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)

@@ -336,6 +336,32 @@ func TestE14OffloadPlanShape(t *testing.T) {
 	}
 }
 
+func TestE16FaultMatrixShape(t *testing.T) {
+	// E16Faults itself errors on any violated acceptance invariant
+	// (exactly-once, zero garbage, missed corruption, missing restore), so
+	// the shape test mostly needs the run to complete.
+	tab, err := E16Faults(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 6 per-class + 1 combined:\n%s", len(tab.Rows), tab)
+	}
+	for _, r := range tab.Rows {
+		if r[4] != "0" {
+			t.Errorf("%s: garbage column = %s, want 0", r[0], r[4])
+		}
+		if r[0] == "hang" || r[0] == "corrupt+2 hangs" {
+			if r[6] != "2" {
+				t.Errorf("%s: restores = %s, want 2", r[0], r[6])
+			}
+		}
+	}
+	if !strings.Contains(tab.Note, "goodput") {
+		t.Errorf("note %q missing the goodput comparison", tab.Note)
+	}
+}
+
 func TestE15EvolveShape(t *testing.T) {
 	tab, err := E15Evolve(2048)
 	if err != nil {

@@ -96,7 +96,26 @@ type generation struct {
 	seq uint64
 	res *core.Result
 	rt  *codegen.Runtime
+	// softRT is the generation's all-software runtime, built lazily: packets
+	// whose completion is lost to a device fault mid-switchover are delivered
+	// through it instead of being dropped.
+	softRT *codegen.Runtime
 }
+
+// soft returns the generation's software runtime, building it on first use.
+func (g *generation) soft() *codegen.Runtime {
+	if g.softRT == nil {
+		g.softRT = codegen.NewSoftRuntime(g.res, softnic.Funcs())
+	}
+	return g.softRT
+}
+
+// configRetries bounds the ApplyConfig attempts during a switchover apply
+// and during a rollback: a faulty control channel may NAK individual
+// register-write bursts, and a bounded retry turns a transient NAK into a
+// non-event instead of a rollback (or, on the rollback path, instead of a
+// stranded device).
+const configRetries = 4
 
 // pending is one packet received but not yet delivered: the epoch tag
 // records which generation's layout its completion was serialized under.
@@ -148,6 +167,8 @@ type Engine struct {
 	unsat          obs.Counter // re-solves rejected as unsatisfiable
 	switchDrops    obs.Counter // packets lost across a switchover (must be 0)
 	packetsDrained obs.Counter // completions drained under the old layout
+	softParked     obs.Counter // drain shortfalls re-delivered in software
+	applyRetries   obs.Counter // NAKed ApplyConfig bursts retried
 	switchLatency  *obs.Histogram
 
 	lastDiff *core.Diff
@@ -409,10 +430,14 @@ func (e *Engine) switchover(next *core.Result) error {
 			})
 		})
 		if !ok {
-			// A pending packet with no completion: it was dropped at Rx time
-			// and never entered pending (Rx filters those), so an empty ring
-			// with pending packets is an accounting violation.
-			e.switchDrops.Add(uint64(len(e.pending)))
+			// Pending packets with no completion left in the ring: a faulty
+			// device lost their records. Park them for software delivery
+			// under the old generation's soft runtime — the switchover stays
+			// zero-loss even when completions vanish mid-drain.
+			for _, q := range e.pending {
+				e.drained = append(e.drained, drainedPkt{pkt: q.pkt, rt: old.soft()})
+				e.softParked.Inc()
+			}
 			e.pending = e.pending[:0]
 			break
 		}
@@ -424,12 +449,27 @@ func (e *Engine) switchover(next *core.Result) error {
 	}
 	e.packetsDrained.Add(uint64(drained))
 
+	// apply pushes a register-write burst with bounded retries: a faulty
+	// control channel may NAK individual bursts, and ApplyConfig fails
+	// atomically, so retrying is always safe.
+	apply := func(cfg []core.Constraint) error {
+		var err error
+		for i := 0; i < configRetries; i++ {
+			if err = e.dev.ApplyConfig(cfg); err == nil {
+				return nil
+			}
+			e.applyRetries.Inc()
+		}
+		return err
+	}
+
 	rollback := func(cause error) error {
-		// ROLLBACK: re-apply the old generation's configuration. The old
-		// runtime was never unpublished, so the datapath is intact either
-		// way; re-applying the config restores the device context in case
-		// the failed apply half-programmed it.
-		if rerr := e.dev.ApplyConfig(old.res.Config); rerr != nil {
+		// ROLLBACK: re-apply the old generation's configuration (with the
+		// same bounded retries — a rollback must survive the very faults
+		// that triggered it). The old runtime was never unpublished, so the
+		// datapath is intact either way; re-applying the config restores the
+		// device context in case the failed apply half-programmed it.
+		if rerr := apply(old.res.Config); rerr != nil {
 			cause = fmt.Errorf("%w (rollback reapply also failed: %v)", cause, rerr)
 		}
 		e.rollbacks.Inc()
@@ -444,7 +484,7 @@ func (e *Engine) switchover(next *core.Result) error {
 		}
 	}
 	// APPLY: push the new context constraints over the control channel.
-	if err := e.dev.ApplyConfig(next.Config); err != nil {
+	if err := apply(next.Config); err != nil {
 		return rollback(err)
 	}
 	// VERIFY: the device must now resolve exactly the selected path.
@@ -488,6 +528,13 @@ type Stats struct {
 	// PacketsDrained counts completions consumed under the old layout
 	// during switchover drains.
 	PacketsDrained uint64
+	// SoftParked counts packets whose completion a faulty device lost
+	// mid-switchover and that were re-delivered through the old generation's
+	// software runtime instead of being dropped.
+	SoftParked uint64
+	// ApplyRetries counts NAKed register-write bursts that were retried
+	// during switchover applies and rollbacks.
+	ApplyRetries uint64
 	// Delivered counts packets handed to Poll handlers over the engine's
 	// lifetime (all generations).
 	Delivered uint64
@@ -510,6 +557,8 @@ func (e *Engine) Stats() Stats {
 		Unsat:          e.unsat.Load(),
 		SwitchDrops:    e.switchDrops.Load(),
 		PacketsDrained: e.packetsDrained.Load(),
+		SoftParked:     e.softParked.Load(),
+		ApplyRetries:   e.applyRetries.Load(),
 		Delivered:      e.delivered.Load(),
 		Reads:          make(map[semantics.Name]uint64, len(e.reads)),
 	}
@@ -539,6 +588,8 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.AttachCounter("opendesc_evolve_unsat_total", "re-solves rejected as unsatisfiable", &e.unsat, base...)
 	reg.AttachCounter("opendesc_evolve_switch_drops_total", "packets lost across switchovers (must be 0)", &e.switchDrops, base...)
 	reg.AttachCounter("opendesc_evolve_packets_drained_total", "completions drained under the old layout", &e.packetsDrained, base...)
+	reg.AttachCounter("opendesc_evolve_soft_parked_total", "mid-switchover lost completions re-delivered in software", &e.softParked, base...)
+	reg.AttachCounter("opendesc_evolve_apply_retries_total", "NAKed register-write bursts retried during switchover", &e.applyRetries, base...)
 	reg.AttachCounter("opendesc_evolve_delivered_total", "packets delivered to Poll handlers", &e.delivered, base...)
 	reg.AttachHistogram("opendesc_evolve_switch_latency_ns", "quiesce-to-swap switchover latency", e.switchLatency, base...)
 	reg.GaugeFunc("opendesc_evolve_generation", "current interface generation epoch", func() int64 { return int64(e.gen.Load()) }, base...)

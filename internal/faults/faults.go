@@ -1,0 +1,460 @@
+// Package faults is a deterministic, seedable fault-injection layer for the
+// simulated NIC. Real devices violate their declared contracts — completion
+// records arrive bit-flipped, DMA writes land short, stale records are
+// replayed from a previous ring wrap, completions are duplicated or silently
+// lost, register writes are NAKed, and firmware wedges outright. The
+// injector models each of these classes with an independent per-event
+// probability (plus a scheduled hang train with configurable MTBF and burst
+// length), drawn from a seeded xorshift generator so every run is exactly
+// reproducible. nicsim consults the injector on its DMA/completion and
+// control-channel paths; the hardened driver facade must then detect and
+// survive whatever the injector emits.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"opendesc/internal/obs"
+)
+
+// Class enumerates the injected fault classes.
+type Class int
+
+const (
+	// Corrupt flips 1..BurstBits random bits anywhere in the completion
+	// record (a DMA/PCIe payload corruption).
+	Corrupt Class = iota
+	// Truncate cuts the completion DMA short: only a prefix of the record is
+	// written, the tail stays zero (a torn DMA write).
+	Truncate
+	// Replay delivers a stale completion captured earlier in the run instead
+	// of the fresh one (a stale-generation / stale-cacheline read).
+	Replay
+	// Duplicate publishes the same completion record twice.
+	Duplicate
+	// Drop accepts the packet but never writes its completion (a lost
+	// completion doorbell — the host-visible desync case).
+	Drop
+	// NAK fails a control-channel register-write burst (ApplyConfig).
+	NAK
+	// Hang wedges the whole device: RX, TX and control channel all fail
+	// until the burst elapses and the host issues a successful reset.
+	Hang
+)
+
+var classNames = map[Class]string{
+	Corrupt: "corrupt", Truncate: "truncate", Replay: "replay",
+	Duplicate: "duplicate", Drop: "drop", NAK: "nak", Hang: "hang",
+}
+
+func (c Class) String() string { return classNames[c] }
+
+// Classes lists every fault class in display order.
+func Classes() []Class {
+	return []Class{Corrupt, Truncate, Replay, Duplicate, Drop, NAK, Hang}
+}
+
+// Plan is a fault-injection specification. Probabilities are per event
+// (completion serialized, register burst written); zero disables the class.
+type Plan struct {
+	Seed uint64
+
+	CorruptP   float64 // per-completion bit-flip probability
+	TruncateP  float64 // per-completion short-DMA probability
+	ReplayP    float64 // per-completion stale-replay probability
+	DuplicateP float64 // per-completion duplication probability
+	DropP      float64 // per-completion loss probability
+	NAKP       float64 // per-ApplyConfig register-write NAK probability
+
+	// BurstBits is how many bits a single Corrupt event may flip (1..n,
+	// uniform; default 1).
+	BurstBits int
+
+	// HangCount device hangs are scheduled, one every HangMTBF device
+	// operations; each wedges the device for HangBurst operations, after
+	// which the next reset succeeds. Zero HangCount disables hangs.
+	HangCount int
+	HangMTBF  int
+	HangBurst int
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.BurstBits <= 0 {
+		p.BurstBits = 1
+	}
+	if p.HangCount > 0 {
+		if p.HangMTBF <= 0 {
+			p.HangMTBF = 4096
+		}
+		if p.HangBurst <= 0 {
+			p.HangBurst = 256
+		}
+	}
+	return p
+}
+
+// ParseSpec parses the CLI fault specification, a comma-separated list of
+// class=value items, e.g.
+//
+//	corrupt=1e-3,truncate=1e-4,replay=1e-4,duplicate=1e-4,drop=1e-4,nak=0.5,hang=2@5000,burst=256,bits=2
+//
+// hang=N@M schedules N hangs with an MTBF of M device operations; burst sets
+// the hang length in operations and bits the per-corruption flip burst.
+func ParseSpec(spec string) (Plan, error) {
+	var p Plan
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value", item)
+		}
+		prob := func() (float64, error) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("faults: %s=%q: want a probability in [0,1]", k, v)
+			}
+			return f, nil
+		}
+		var err error
+		switch k {
+		case "corrupt":
+			p.CorruptP, err = prob()
+		case "truncate":
+			p.TruncateP, err = prob()
+		case "replay":
+			p.ReplayP, err = prob()
+		case "duplicate", "dup":
+			p.DuplicateP, err = prob()
+		case "drop":
+			p.DropP, err = prob()
+		case "nak":
+			p.NAKP, err = prob()
+		case "hang":
+			n, m, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faults: hang=%q: want count@mtbf", v)
+			}
+			if p.HangCount, err = strconv.Atoi(n); err == nil {
+				p.HangMTBF, err = strconv.Atoi(m)
+			}
+			if err != nil || p.HangCount < 0 || p.HangMTBF <= 0 {
+				return Plan{}, fmt.Errorf("faults: hang=%q: want count@mtbf with mtbf > 0", v)
+			}
+		case "burst":
+			if p.HangBurst, err = strconv.Atoi(v); err != nil || p.HangBurst <= 0 {
+				return Plan{}, fmt.Errorf("faults: burst=%q: want a positive op count", v)
+			}
+		case "bits":
+			if p.BurstBits, err = strconv.Atoi(v); err != nil || p.BurstBits <= 0 {
+				return Plan{}, fmt.Errorf("faults: bits=%q: want a positive bit count", v)
+			}
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown class %q (have corrupt, truncate, replay, duplicate, drop, nak, hang, burst, bits)", k)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	return p, nil
+}
+
+// replayDepth is how many past completions the injector retains as replay
+// candidates (the stale records a misbehaving device might re-deliver).
+const replayDepth = 8
+
+// Injector draws fault decisions from a seeded PRNG. The decision methods
+// (Tick, Completion, NAKConfig, TryReset) must be called from the device
+// datapath goroutine only; the Stats snapshot is safe from any goroutine.
+type Injector struct {
+	plan Plan
+	rng  uint64
+
+	// ops is the device-operation clock; atomic only so a stats scraper can
+	// read it while the datapath advances it.
+	ops       atomic.Uint64
+	hung      bool
+	hangLeft  int // operations until the wedge clears enough for a reset
+	hangsDone int
+	nextHang  uint64
+
+	// history holds copies of recently serialized completions (replay pool).
+	history [][]byte
+	histPos int
+
+	injected [Hang + 1]obs.Counter
+	resetNAK obs.Counter
+	resets   obs.Counter
+}
+
+// New builds an injector for a plan. A zero-valued plan injects nothing.
+func New(plan Plan) *Injector {
+	plan = plan.withDefaults()
+	inj := &Injector{plan: plan, rng: plan.Seed}
+	if inj.rng == 0 {
+		inj.rng = 0x9e3779b97f4a7c15 // xorshift must not start at 0
+	}
+	if plan.HangCount > 0 {
+		inj.nextHang = uint64(plan.HangMTBF)
+	}
+	return inj
+}
+
+// Parse is ParseSpec + New with the given seed.
+func Parse(spec string, seed uint64) (*Injector, error) {
+	plan, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	plan.Seed = seed
+	return New(plan), nil
+}
+
+// Plan returns the injector's (defaulted) plan.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// next is xorshift64*, deterministic from the seed.
+func (inj *Injector) next() uint64 {
+	x := inj.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	inj.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// hit draws a Bernoulli event with probability p.
+func (inj *Injector) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(inj.next()>>11)/float64(1<<53) < p
+}
+
+// Tick advances the hang clock by one device operation and reports whether
+// the device is wedged for this operation. Every device entry point (RX,
+// TX, control channel, reset) counts as one operation.
+func (inj *Injector) Tick() (hung bool) {
+	if inj == nil {
+		return false
+	}
+	ops := inj.ops.Add(1)
+	if inj.hung {
+		if inj.hangLeft > 0 {
+			inj.hangLeft--
+		}
+		return true
+	}
+	if inj.plan.HangCount > 0 && inj.hangsDone < inj.plan.HangCount && ops >= inj.nextHang {
+		inj.hung = true
+		inj.hangLeft = inj.plan.HangBurst
+		inj.hangsDone++
+		inj.nextHang = ops + uint64(inj.plan.HangMTBF)
+		inj.injected[Hang].Inc()
+		return true
+	}
+	return false
+}
+
+// Hung reports the current wedge state without advancing the clock.
+func (inj *Injector) Hung() bool { return inj != nil && inj.hung }
+
+// TryReset models a host-issued device reset: while the hang burst has not
+// elapsed the device stays unresponsive and the reset fails; afterwards the
+// reset clears the wedge. Resets on a healthy device always succeed.
+func (inj *Injector) TryReset() bool {
+	if inj == nil {
+		return true
+	}
+	inj.ops.Add(1)
+	if inj.hung && inj.hangLeft > 0 {
+		inj.resetNAK.Inc()
+		return false
+	}
+	inj.hung = false
+	inj.resets.Inc()
+	return true
+}
+
+// NAKConfig reports whether this control-channel register-write burst is
+// NAKed. The burst fails atomically, before any register is written.
+func (inj *Injector) NAKConfig() bool {
+	if inj == nil {
+		return false
+	}
+	if inj.hit(inj.plan.NAKP) {
+		inj.injected[NAK].Inc()
+		return true
+	}
+	return false
+}
+
+// Completion passes one freshly serialized completion record through the
+// injector. rec is mutated in place for corruption classes; the returned
+// slice is what the device should DMA (nil for a dropped completion), and
+// extra, when non-nil, is a second record to publish right after (a
+// duplicate). The injector snapshots clean records into its replay pool.
+func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
+	if inj == nil {
+		return rec, nil
+	}
+	switch {
+	case inj.hit(inj.plan.DropP):
+		inj.injected[Drop].Inc()
+		return nil, nil
+	case inj.hit(inj.plan.ReplayP):
+		if stale := inj.stale(rec); stale != nil {
+			inj.injected[Replay].Inc()
+			return stale, nil
+		}
+	case inj.hit(inj.plan.DuplicateP):
+		inj.injected[Duplicate].Inc()
+		inj.remember(rec)
+		return rec, rec
+	case inj.hit(inj.plan.TruncateP):
+		// A torn DMA: keep a strict prefix, zero the tail. Only counted when
+		// the mutation is visible (a truncated all-zero tail is a no-op).
+		cut := int(inj.next() % uint64(len(rec)))
+		changed := false
+		for i := cut; i < len(rec); i++ {
+			if rec[i] != 0 {
+				rec[i] = 0
+				changed = true
+			}
+		}
+		if changed {
+			inj.injected[Truncate].Inc()
+			return rec, nil
+		}
+	case inj.hit(inj.plan.CorruptP):
+		flips := 1
+		if inj.plan.BurstBits > 1 {
+			flips += int(inj.next() % uint64(inj.plan.BurstBits))
+		}
+		// Track which bits the burst touches; a bit flipped an even number of
+		// times cancels out, and a burst with no net change is not an
+		// observable fault (not counted, record stays clean).
+		before := append([]byte(nil), rec...)
+		for i := 0; i < flips; i++ {
+			bit := inj.next() % uint64(len(rec)*8)
+			rec[bit/8] ^= 1 << (bit % 8)
+		}
+		if !bytesEqual(rec, before) {
+			inj.injected[Corrupt].Inc()
+			return rec, nil
+		}
+	}
+	inj.remember(rec)
+	return rec, nil
+}
+
+// remember snapshots a clean record into the replay pool.
+func (inj *Injector) remember(rec []byte) {
+	cp := append([]byte(nil), rec...)
+	if len(inj.history) < replayDepth {
+		inj.history = append(inj.history, cp)
+	} else {
+		inj.history[inj.histPos] = cp
+		inj.histPos = (inj.histPos + 1) % replayDepth
+	}
+}
+
+// stale picks a replay candidate that differs from the fresh record (a
+// byte-identical replay would be invisible, hence not a fault).
+func (inj *Injector) stale(fresh []byte) []byte {
+	if len(inj.history) == 0 {
+		return nil
+	}
+	start := int(inj.next() % uint64(len(inj.history)))
+	for i := 0; i < len(inj.history); i++ {
+		cand := inj.history[(start+i)%len(inj.history)]
+		if !bytesEqual(cand, fresh) {
+			return cand
+		}
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a snapshot of the injected-fault counters.
+type Stats struct {
+	// Injected counts effective injections per class (mutations that did not
+	// change the record are not counted).
+	Injected map[Class]uint64
+	// ResetNAKs counts reset attempts refused while the device was wedged;
+	// Resets counts resets that took effect.
+	ResetNAKs uint64
+	Resets    uint64
+	// Ops is the device-operation clock.
+	Ops uint64
+}
+
+// Total sums all injected events.
+func (s Stats) Total() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// String renders "class=n" pairs in display order.
+func (s Stats) String() string {
+	var parts []string
+	for _, c := range Classes() {
+		if n := s.Injected[c]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Stats snapshots the injected counters. Safe to call concurrently with the
+// datapath (counters are atomic; the PRNG itself is datapath-owned).
+func (inj *Injector) Stats() Stats {
+	st := Stats{Injected: make(map[Class]uint64)}
+	if inj == nil {
+		return st
+	}
+	for c := Corrupt; c <= Hang; c++ {
+		if n := inj.injected[c].Load(); n > 0 {
+			st.Injected[c] = n
+		}
+	}
+	st.ResetNAKs = inj.resetNAK.Load()
+	st.Resets = inj.resets.Load()
+	st.Ops = inj.ops.Load()
+	return st
+}
+
+// RegisterMetrics exposes the per-class injected counters on an obs
+// registry (the device under test should be observable too).
+func (inj *Injector) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	for c := Corrupt; c <= Hang; c++ {
+		l := append(append([]obs.Label{}, labels...), obs.L("class", c.String()))
+		reg.AttachCounter("opendesc_faults_injected_total", "injected faults per class", &inj.injected[c], l...)
+	}
+	reg.AttachCounter("opendesc_faults_reset_naks_total", "device resets refused while wedged", &inj.resetNAK, labels...)
+	reg.AttachCounter("opendesc_faults_resets_total", "device resets that took effect", &inj.resets, labels...)
+}

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("corrupt=1e-3,truncate=1e-4,drop=0.25,nak=0.5,hang=2@5000,burst=128,bits=3,dup=0.1,replay=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CorruptP != 1e-3 || p.TruncateP != 1e-4 || p.DropP != 0.25 || p.NAKP != 0.5 {
+		t.Fatalf("probabilities mis-parsed: %+v", p)
+	}
+	if p.HangCount != 2 || p.HangMTBF != 5000 || p.HangBurst != 128 || p.BurstBits != 3 {
+		t.Fatalf("hang spec mis-parsed: %+v", p)
+	}
+	if p.DuplicateP != 0.1 || p.ReplayP != 0.2 {
+		t.Fatalf("dup/replay mis-parsed: %+v", p)
+	}
+	for _, bad := range []string{"corrupt", "corrupt=2", "hang=5", "hang=2@0", "bogus=1", "burst=-1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error", bad)
+		}
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Errorf("empty spec should be the null plan: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]byte, Stats) {
+		inj := New(Plan{Seed: 7, CorruptP: 0.2, DropP: 0.1, TruncateP: 0.1})
+		var log []byte
+		rec := make([]byte, 16)
+		for i := 0; i < 2000; i++ {
+			for j := range rec {
+				rec[j] = byte(i + j)
+			}
+			out, _ := inj.Completion(rec)
+			if out == nil {
+				log = append(log, 0xFF)
+			} else {
+				log = append(log, out...)
+			}
+		}
+		return log, inj.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if !bytesEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if sa.Total() != sb.Total() || sa.Total() == 0 {
+		t.Fatalf("stats diverged or empty: %d vs %d", sa.Total(), sb.Total())
+	}
+	c, _ := func() ([]byte, Stats) {
+		inj := New(Plan{Seed: 8, CorruptP: 0.2, DropP: 0.1, TruncateP: 0.1})
+		var log []byte
+		rec := make([]byte, 16)
+		for i := 0; i < 2000; i++ {
+			for j := range rec {
+				rec[j] = byte(i + j)
+			}
+			out, _ := inj.Completion(rec)
+			if out == nil {
+				log = append(log, 0xFF)
+			} else {
+				log = append(log, out...)
+			}
+		}
+		return log, inj.Stats()
+	}()
+	if bytesEqual(a, c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestHangScheduleAndReset(t *testing.T) {
+	inj := New(Plan{Seed: 1, HangCount: 2, HangMTBF: 100, HangBurst: 10})
+	hangs := 0
+	for op := 1; op <= 400; op++ {
+		wasHung := inj.Hung()
+		hung := inj.Tick()
+		if hung && !wasHung {
+			hangs++
+			// Resets must fail until the burst elapses.
+			if inj.TryReset() {
+				t.Fatalf("op %d: reset succeeded immediately after hang onset", op)
+			}
+			// Burn the burst (each tick is one wedged device op).
+			for inj.Tick() && inj.hangLeft > 0 {
+			}
+			if !inj.TryReset() {
+				t.Fatalf("op %d: reset still failing after burst elapsed", op)
+			}
+			if inj.Hung() {
+				t.Fatal("device still hung after successful reset")
+			}
+		}
+	}
+	if hangs != 2 {
+		t.Fatalf("got %d hangs, want 2", hangs)
+	}
+	st := inj.Stats()
+	if st.Injected[Hang] != 2 || st.Resets != 2 || st.ResetNAKs != 2 {
+		t.Fatalf("hang accounting off: %+v", st)
+	}
+}
+
+func TestCompletionClasses(t *testing.T) {
+	// Probability-1 classes must fire every time and be counted.
+	rec := func() []byte { return []byte{1, 2, 3, 4, 5, 6, 7, 8} }
+
+	inj := New(Plan{Seed: 3, DropP: 1})
+	if out, _ := inj.Completion(rec()); out != nil {
+		t.Fatal("drop plan returned a record")
+	}
+	if inj.Stats().Injected[Drop] != 1 {
+		t.Fatal("drop not counted")
+	}
+
+	inj = New(Plan{Seed: 3, CorruptP: 1})
+	r := rec()
+	out, _ := inj.Completion(r)
+	if bytesEqual(out, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("corrupt plan left record unchanged")
+	}
+	if inj.Stats().Injected[Corrupt] != 1 {
+		t.Fatal("corrupt not counted")
+	}
+
+	inj = New(Plan{Seed: 3, DuplicateP: 1})
+	out, extra := inj.Completion(rec())
+	if out == nil || extra == nil || !bytesEqual(out, extra) {
+		t.Fatal("duplicate plan did not return two identical records")
+	}
+
+	// Replay needs history: the first completion is clean (nothing to
+	// replay), later ones must return an older record.
+	inj = New(Plan{Seed: 3, ReplayP: 1})
+	first := rec()
+	if out, _ := inj.Completion(first); !bytesEqual(out, first) {
+		t.Fatal("replay with empty history should pass through")
+	}
+	second := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	out, _ = inj.Completion(second)
+	if !bytesEqual(out, first) {
+		t.Fatalf("replay returned %v, want the stale %v", out, first)
+	}
+	if inj.Stats().Injected[Replay] != 1 {
+		t.Fatal("replay not counted")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Tick() || inj.Hung() || inj.NAKConfig() || !inj.TryReset() {
+		t.Fatal("nil injector must inject nothing")
+	}
+	rec := []byte{1, 2}
+	if out, extra := inj.Completion(rec); !bytesEqual(out, rec) || extra != nil {
+		t.Fatal("nil injector mutated a completion")
+	}
+	if inj.Stats().Total() != 0 {
+		t.Fatal("nil injector reported injections")
+	}
+}

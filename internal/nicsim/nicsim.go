@@ -14,8 +14,11 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"errors"
+
 	"opendesc/internal/bitfield"
 	"opendesc/internal/core"
+	"opendesc/internal/faults"
 	"opendesc/internal/nic"
 	"opendesc/internal/obs"
 	"opendesc/internal/p4/sema"
@@ -43,6 +46,11 @@ type Config struct {
 	// attaches to packets.
 	CryptoCtx uint64
 }
+
+// WithDefaults returns the configuration with unset fields defaulted — the
+// concrete device state a zero Config produces (the hardened driver derives
+// its device-state validation constants from it).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.RingEntries == 0 {
@@ -91,6 +99,16 @@ type Device struct {
 	// −1 means "recompute on next packet" (set by WriteReg).
 	curPath atomic.Int32
 
+	// faults, when non-nil, is the fault-injection layer consulted on every
+	// DMA/completion and control-channel operation.
+	faults *faults.Injector
+	// Fault-path counters (all zero on a healthy device).
+	cfgNAKs    obs.Counter // ApplyConfig bursts refused (wedge or NAK)
+	hangDrops  obs.Counter // packets refused while the device was wedged
+	lostCmpts  obs.Counter // completions dropped by injection (host-visible desync)
+	resets     obs.Counter // device resets that took effect
+	resetFails obs.Counter // reset attempts refused while wedged
+
 	// metaParams are the deparser parameters whose fields feed the emit
 	// environment (context param excluded).
 	metaParams []*sema.BoundParam
@@ -104,6 +122,14 @@ type Device struct {
 
 // maxCompletionBytes bounds a single completion record in the simulator.
 const maxCompletionBytes = 256
+
+// ErrDeviceHang reports that the device is wedged: RX, TX and the control
+// channel all refuse service until a reset succeeds.
+var ErrDeviceHang = errors.New("device hang")
+
+// ErrConfigNAK reports a NAKed control-channel register-write burst; the
+// burst failed atomically and may be retried.
+var ErrConfigNAK = errors.New("register write NAKed")
 
 // New builds a simulated device for a NIC model.
 func New(m *nic.Model, cfg Config) (*Device, error) {
@@ -175,46 +201,27 @@ func (d *Device) WriteReg(path string, v uint64) {
 func (d *Device) ReadReg(path string) uint64 { return d.ctx[path].Uint }
 
 // ApplyConfig programs the context registers so the device takes the
-// completion path selected by a compilation result. Equality constraints set
-// the register outright; disequalities pick the smallest value not excluded.
+// completion path selected by a compilation result. The concrete values are
+// resolved by core.ConfigAssignment (equality constraints pin the register,
+// disequalities pick the smallest value not excluded). The register-write
+// burst fails atomically when the device is wedged or the control channel
+// NAKs it (fault injection): no register is written on error.
 func (d *Device) ApplyConfig(cons []core.Constraint) error {
-	type excl struct {
-		vals  []uint64
-		fixed *uint64
-	}
-	byVar := map[string]*excl{}
-	for _, c := range cons {
-		e := byVar[c.Var]
-		if e == nil {
-			e = &excl{}
-			byVar[c.Var] = e
+	if d.faults != nil {
+		if d.faults.Tick() {
+			d.cfgNAKs.Inc()
+			return fmt.Errorf("nicsim %s: %w", d.Model.Name, ErrDeviceHang)
 		}
-		if c.Equal {
-			v := c.Val.Uint
-			if e.fixed != nil && *e.fixed != v {
-				return fmt.Errorf("nicsim: conflicting config for %s: %d vs %d", c.Var, *e.fixed, v)
-			}
-			e.fixed = &v
-		} else {
-			e.vals = append(e.vals, c.Val.Uint)
+		if d.faults.NAKConfig() {
+			d.cfgNAKs.Inc()
+			return fmt.Errorf("nicsim %s: %w", d.Model.Name, ErrConfigNAK)
 		}
 	}
-	for v, e := range byVar {
-		if e.fixed != nil {
-			d.WriteReg(v, *e.fixed)
-			continue
-		}
-		val := uint64(0)
-	search:
-		for {
-			for _, x := range e.vals {
-				if x == val {
-					val++
-					continue search
-				}
-			}
-			break
-		}
+	vals, err := core.ConfigAssignment(cons)
+	if err != nil {
+		return fmt.Errorf("nicsim: %w", err)
+	}
+	for v, val := range vals {
 		d.WriteReg(v, val)
 	}
 	return nil
@@ -274,6 +281,15 @@ type DeviceStats struct {
 	Offloads map[semantics.Name]uint64
 	// Ring is the completion ring's counter snapshot.
 	Ring ring.Stats
+	// Fault-path counters (all zero on a healthy device): ConfigNAKs counts
+	// refused ApplyConfig bursts, HangDrops packets refused while wedged,
+	// LostCompletions injected completion losses, Resets successful device
+	// resets, ResetFails reset attempts refused while wedged.
+	ConfigNAKs      uint64
+	HangDrops       uint64
+	LostCompletions uint64
+	Resets          uint64
+	ResetFails      uint64
 }
 
 // Stats returns a snapshot of the device counters. Safe to call while
@@ -289,6 +305,11 @@ func (d *Device) Stats() DeviceStats {
 		CompletionsByPath: make(map[int]uint64),
 		Offloads:          make(map[semantics.Name]uint64),
 		Ring:              d.CmptRing.Stats(),
+		ConfigNAKs:        d.cfgNAKs.Load(),
+		HangDrops:         d.hangDrops.Load(),
+		LostCompletions:   d.lostCmpts.Load(),
+		Resets:            d.resets.Load(),
+		ResetFails:        d.resetFails.Load(),
 	}
 	for i := range d.pathHits {
 		if n := d.pathHits[i].Load(); n > 0 {
@@ -331,6 +352,11 @@ func (d *Device) RegisterMetrics(reg *obs.Registry, extra ...obs.Label) {
 	reg.AttachCounter("opendesc_dev_rx_bytes_total", "packet bytes accepted by the simulated device", &d.rxBytes, base...)
 	reg.AttachCounter("opendesc_dev_drops_total", "packets dropped in the RX path", &d.drops, base...)
 	reg.AttachCounter("opendesc_dev_completion_bytes_total", "completion-record bytes DMAed", &d.cmptBytes, base...)
+	reg.AttachCounter("opendesc_dev_config_naks_total", "refused ApplyConfig register-write bursts", &d.cfgNAKs, base...)
+	reg.AttachCounter("opendesc_dev_hang_drops_total", "packets refused while the device was wedged", &d.hangDrops, base...)
+	reg.AttachCounter("opendesc_dev_lost_completions_total", "completions lost to fault injection", &d.lostCmpts, base...)
+	reg.AttachCounter("opendesc_dev_resets_total", "device resets that took effect", &d.resets, base...)
+	reg.AttachCounter("opendesc_dev_reset_fails_total", "reset attempts refused while wedged", &d.resetFails, base...)
 	for i := range d.pathHits {
 		labels := append(append([]obs.Label{}, base...), obs.L("path", strconv.Itoa(d.paths[i].ID)))
 		reg.AttachCounter("opendesc_dev_path_completions_total", "completions emitted per deparser path", &d.pathHits[i], labels...)
@@ -356,6 +382,12 @@ func (d *Device) RegisterMetrics(reg *obs.Registry, extra ...obs.Label) {
 // It returns false when the completion ring is full (packet dropped, as
 // hardware would).
 func (d *Device) RxPacket(packet []byte) bool {
+	if d.faults != nil && d.faults.Tick() {
+		// Wedged: the device refuses the packet outright.
+		d.hangDrops.Inc()
+		d.drops.Inc()
+		return false
+	}
 	slot := int(d.rxPackets.Load()) % d.Buffers.Count()
 	if err := d.Buffers.Write(slot, packet); err != nil {
 		d.drops.Inc()
@@ -375,17 +407,72 @@ func (d *Device) RxPacket(packet []byte) bool {
 		d.drops.Inc()
 		return false
 	}
-	if !d.CmptRing.Push(d.cmptBuf[:n]) {
+	rec, extra := d.cmptBuf[:n], []byte(nil)
+	if d.faults != nil {
+		rec, extra = d.faults.Completion(rec)
+	}
+	if rec == nil {
+		// Injected completion loss: the device believes the packet completed
+		// (it was DMAed and counted), but no record reaches the host — the
+		// pending/completion desync the driver must resynchronize from.
+		d.lostCmpts.Inc()
+		d.rxPackets.Inc()
+		d.rxBytes.Add(uint64(len(packet)))
+		return true
+	}
+	if !d.CmptRing.Push(rec) {
 		d.drops.Inc()
 		return false
 	}
+	if extra != nil {
+		// Injected duplicate: best-effort second publish (a full ring just
+		// swallows the duplicate, as real hardware would).
+		d.CmptRing.Push(extra)
+	}
 	d.rxPackets.Inc()
 	d.rxBytes.Add(uint64(len(packet)))
-	d.cmptBytes.Add(uint64(n))
+	d.cmptBytes.Add(uint64(len(rec)))
 	if idx := d.activePathIndex(); idx >= 0 {
 		d.pathHits[idx].Inc()
 	}
 	return true
+}
+
+// InjectFaults attaches a fault-injection layer; nil detaches it. The
+// injector is consulted from the device datapath goroutine on every RX, TX,
+// control-channel and reset operation.
+func (d *Device) InjectFaults(inj *faults.Injector) { d.faults = inj }
+
+// Faults returns the attached injector (nil on a healthy device).
+func (d *Device) Faults() *faults.Injector { return d.faults }
+
+// Hung reports whether the device is currently wedged.
+func (d *Device) Hung() bool { return d.faults.Hung() }
+
+// TickClock advances the device's internal fault clock without submitting
+// work — the discrete-time stand-in for wall time elapsing while a host
+// backs off from a wedged device (a hang burst can only drain while the
+// clock runs).
+func (d *Device) TickClock() {
+	if d.faults != nil {
+		d.faults.Tick()
+	}
+}
+
+// Reset models a full device reset: the completion ring is emptied and the
+// context registers are cleared, so the host must re-ApplyConfig before the
+// device resolves a completion path again. While a hang burst is still
+// running the device stays unresponsive and the reset fails.
+func (d *Device) Reset() error {
+	if d.faults != nil && !d.faults.TryReset() {
+		d.resetFails.Inc()
+		return fmt.Errorf("nicsim %s: reset refused: %w", d.Model.Name, ErrDeviceHang)
+	}
+	d.CmptRing.Reset()
+	d.ctx = make(map[string]sema.Value)
+	d.curPath.Store(-1)
+	d.resets.Inc()
+	return nil
 }
 
 // computeOffloads runs the golden reference engines over the packet.

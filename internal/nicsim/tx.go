@@ -46,6 +46,9 @@ func (d *Device) ActiveTxLayout() (*core.TxLayout, error) {
 // through DMA and converted into structured fields") and returns the decoded
 // intent.
 func (d *Device) TxSubmit(desc []byte) (*TxResult, error) {
+	if d.faults != nil && d.faults.Tick() {
+		return nil, fmt.Errorf("nicsim %s: TX: %w", d.Model.Name, ErrDeviceHang)
+	}
 	layout, err := d.ActiveTxLayout()
 	if err != nil {
 		return nil, err

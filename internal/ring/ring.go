@@ -30,8 +30,9 @@ type Ring struct {
 	// concurrently with the datapath.
 	produced   atomic.Uint64
 	fullStalls atomic.Uint64
+	oversized  atomic.Uint64
 	highWater  atomic.Uint32 // occupancy high-water mark (entries)
-	_          [44]byte
+	_          [36]byte
 	consumed    atomic.Uint64
 	emptyStalls atomic.Uint64
 }
@@ -46,6 +47,9 @@ type Stats struct {
 	// signals a driver would watch.
 	FullStalls  uint64
 	EmptyStalls uint64
+	// Oversized counts Push attempts rejected because the record exceeded
+	// the entry size (a malformed completion must not crash the device loop).
+	Oversized uint64
 	// Occupancy is the instantaneous fill level and HighWater the largest
 	// occupancy ever reached.
 	Occupancy int
@@ -60,6 +64,7 @@ func (r *Ring) Stats() Stats {
 		Consumed:    r.consumed.Load(),
 		FullStalls:  r.fullStalls.Load(),
 		EmptyStalls: r.emptyStalls.Load(),
+		Oversized:   r.oversized.Load(),
 		Occupancy:   r.Len(),
 		HighWater:   int(r.highWater.Load()),
 	}
@@ -145,11 +150,14 @@ func (r *Ring) Produce(fill func(entry []byte)) bool {
 	return true
 }
 
-// Push copies rec into the next entry. rec longer than the entry size is an
-// error; shorter records are zero-padded.
+// Push copies rec into the next entry; shorter records are zero-padded. It
+// returns false when the ring is full or when rec exceeds the entry size —
+// an oversized record is a malformed completion, counted in Stats.Oversized
+// and rejected instead of crashing the device loop.
 func (r *Ring) Push(rec []byte) bool {
 	if len(rec) > r.entrySize {
-		panic(fmt.Sprintf("ring: record %dB exceeds entry size %dB", len(rec), r.entrySize))
+		r.oversized.Add(1)
+		return false
 	}
 	return r.Produce(func(e []byte) {
 		n := copy(e, rec)
@@ -157,6 +165,15 @@ func (r *Ring) Push(rec []byte) bool {
 			e[i] = 0
 		}
 	})
+}
+
+// MustPush is Push that panics on an oversized record (a programming error
+// in tests and fixtures, where silent rejection would hide the bug).
+func (r *Ring) MustPush(rec []byte) bool {
+	if len(rec) > r.entrySize {
+		panic(fmt.Sprintf("ring: record %dB exceeds entry size %dB", len(rec), r.entrySize))
+	}
+	return r.Push(rec)
 }
 
 // Consume passes the oldest entry to use and releases it; returns false when

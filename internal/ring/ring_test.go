@@ -148,13 +148,30 @@ func TestConsumeBatch(t *testing.T) {
 	}
 }
 
-func TestPushOversizedPanics(t *testing.T) {
+func TestPushOversizedRejected(t *testing.T) {
+	r := MustNew(2, 2)
+	if r.Push([]byte{1, 2, 3}) {
+		t.Error("oversized push should be rejected")
+	}
+	if r.Len() != 0 {
+		t.Error("rejected push must not occupy a slot")
+	}
+	if st := r.Stats(); st.Oversized != 1 || st.Produced != 0 {
+		t.Errorf("oversized=%d produced=%d, want 1/0", st.Oversized, st.Produced)
+	}
+	// A well-sized record still goes through afterwards.
+	if !r.Push([]byte{1, 2}) {
+		t.Error("valid push after oversized rejection failed")
+	}
+}
+
+func TestMustPushOversizedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("oversized push should panic")
+			t.Error("oversized MustPush should panic")
 		}
 	}()
-	MustNew(2, 2).Push([]byte{1, 2, 3})
+	MustNew(2, 2).MustPush([]byte{1, 2, 3})
 }
 
 func TestReset(t *testing.T) {

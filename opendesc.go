@@ -27,6 +27,8 @@
 package opendesc
 
 import (
+	"errors"
+
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
 	"opendesc/internal/evolve"
@@ -204,12 +206,26 @@ type Driver struct {
 
 	dev     *nicsim.Device
 	rt      *codegen.Runtime
-	pending [][]byte
+	pending []pendingPkt
 
 	// engine is non-nil for evolving drivers; the datapath then delegates
 	// to the renegotiation control plane.
 	engine *evolve.Engine
+	// hard is non-nil once Harden armed the validated/watchdogged datapath.
+	hard *hardening
 }
+
+// pendingPkt is one packet awaiting its completion; soft marks packets that
+// will be served from the SoftNIC runtime instead of a device record
+// (quarantined completion, lost completion, or degraded mode).
+type pendingPkt struct {
+	pkt  []byte
+	soft bool
+}
+
+// errEvolvingHarden: facade hardening applies to pinned drivers; the
+// evolving control plane hardens its switchover path internally.
+var errEvolvingHarden = errors.New("opendesc: Harden is not supported on an evolving driver")
 
 // OpenOptions bundles everything Open can be tuned with.
 type OpenOptions struct {
@@ -220,6 +236,10 @@ type OpenOptions struct {
 	// shim costs, and hot-swaps the descriptor layout when a better one
 	// emerges (generation-tagged, zero-loss switchovers).
 	Evolve *EvolveOptions
+	// Harden, when non-nil, arms the hardened datapath (completion
+	// validation, device watchdog, SoftNIC degraded mode) on a pinned
+	// driver. Mutually exclusive with Evolve.
+	Harden *HardenOptions
 }
 
 // Open compiles the intent for the NIC, programs a simulated device with the
@@ -253,6 +273,9 @@ func OpenWith(nicName string, intent *Intent, opts OpenOptions) (*Driver, error)
 		return nil, err
 	}
 	if opts.Evolve != nil {
+		if opts.Harden != nil {
+			return nil, errEvolvingHarden
+		}
 		eng, err := evolve.New(m, intent, opts.Compile, *opts.Evolve)
 		if err != nil {
 			return nil, err
@@ -270,11 +293,17 @@ func OpenWith(nicName string, intent *Intent, opts OpenOptions) (*Driver, error)
 	if err := dev.ApplyConfig(res.Config); err != nil {
 		return nil, err
 	}
-	return &Driver{
+	d := &Driver{
 		Result: res,
 		dev:    dev,
 		rt:     codegen.NewRuntime(res, softnic.Funcs()),
-	}, nil
+	}
+	if opts.Harden != nil {
+		if err := d.Harden(*opts.Harden); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // Rx delivers one packet to the device (the simulated wire). It returns
@@ -283,10 +312,13 @@ func (d *Driver) Rx(packet []byte) bool {
 	if d.engine != nil {
 		return d.engine.Rx(packet)
 	}
+	if d.hard != nil {
+		return d.hard.rx(d, packet)
+	}
 	if !d.dev.RxPacket(packet) {
 		return false
 	}
-	d.pending = append(d.pending, packet)
+	d.pending = append(d.pending, pendingPkt{pkt: packet})
 	return true
 }
 
@@ -304,9 +336,12 @@ func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
 		d.Result = d.engine.Result()
 		return n
 	}
+	if d.hard != nil {
+		return d.hard.poll(d, h)
+	}
 	n := 0
 	for n < len(d.pending) {
-		p := d.pending[n]
+		p := d.pending[n].pkt
 		if !d.dev.CmptRing.Consume(func(cmpt []byte) {
 			h(p, Meta{rt: d.rt, cmpt: cmpt, pkt: p})
 		}) {
@@ -364,4 +399,10 @@ func (d *Driver) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 		return
 	}
 	d.dev.RegisterMetrics(reg, labels...)
+	if d.hard != nil {
+		d.hard.registerMetrics(reg, labels...)
+	}
+	if inj := d.dev.Faults(); inj != nil {
+		inj.RegisterMetrics(reg, labels...)
+	}
 }

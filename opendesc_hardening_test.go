@@ -1,0 +1,282 @@
+package opendesc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"opendesc/internal/faults"
+	"opendesc/internal/pkt"
+	"opendesc/internal/softnic"
+)
+
+// hardPackets builds n mutually distinct packets (varying ports, IP ids and
+// payloads) so completion records are distinguishable during resync.
+func hardPackets(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = pkt.NewBuilder().
+			WithVLAN(uint16(0x100 | (i & 0xFF))).
+			WithIPv4([4]byte{192, 168, 1, 10}, [4]byte{10, 0, 0, 1}).
+			WithTCP(443, uint16(40000+i%20000), 0x18).
+			WithIPID(uint16(i)).
+			WithPayload([]byte(fmt.Sprintf("hardened-%d", i))).
+			Build()
+	}
+	return out
+}
+
+func openHardened(t *testing.T, opts HardenOptions) *Driver {
+	t.Helper()
+	intent, err := NewIntent("hard_intent", "rss", "vlan", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := OpenWith("e1000e", intent, OpenOptions{Harden: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drv
+}
+
+// checkGolden asserts the metadata of one delivered packet matches the
+// SoftNIC reference — a corrupted record must never leak through.
+func checkGolden(t *testing.T, p []byte, meta Meta) {
+	t.Helper()
+	var in pkt.Info
+	if err := pkt.Decode(p, &in); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := meta.Get("rss"); !ok || v != uint64(softnic.RSS(&in)) {
+		t.Errorf("rss = %#x/%v, want %#x", v, ok, softnic.RSS(&in))
+	}
+	if v, ok := meta.Get("pkt_len"); !ok || v != uint64(len(p)) {
+		t.Errorf("pkt_len = %d/%v, want %d", v, ok, len(p))
+	}
+	if v, ok := meta.Get("vlan"); !ok || v != uint64(softnic.VLANTCI(&in)) {
+		t.Errorf("vlan = %#x/%v, want %#x", v, ok, softnic.VLANTCI(&in))
+	}
+}
+
+// driveExactlyOnce pushes every packet through Rx/Poll in batches and fails
+// unless each is delivered exactly once, in order, with golden metadata.
+func driveExactlyOnce(t *testing.T, drv *Driver, packets [][]byte, batch int) {
+	t.Helper()
+	next := 0
+	handler := func(p []byte, meta Meta) {
+		if next >= len(packets) {
+			t.Fatalf("delivery %d beyond the %d accepted packets", next, len(packets))
+		}
+		if &p[0] != &packets[next][0] {
+			t.Fatalf("delivery %d out of order", next)
+		}
+		checkGolden(t, p, meta)
+		next++
+	}
+	for i := 0; i < len(packets); {
+		for j := 0; j < batch && i < len(packets); j++ {
+			if !drv.Rx(packets[i]) {
+				t.Fatalf("rx %d refused (hardened Rx only refuses on backpressure)", i)
+			}
+			i++
+		}
+		drv.Poll(handler)
+	}
+	for drv.Poll(handler) > 0 {
+	}
+	if next != len(packets) {
+		t.Fatalf("delivered %d of %d packets", next, len(packets))
+	}
+}
+
+// TestHardenedCleanPath: with no injector the hardened driver behaves like
+// the plain one — hardware metadata, no recovery activity.
+func TestHardenedCleanPath(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true})
+	hw := 0
+	packets := hardPackets(64)
+	next := 0
+	for _, p := range packets {
+		if !drv.Rx(p) {
+			t.Fatal("rx refused")
+		}
+		drv.Poll(func(pp []byte, meta Meta) {
+			checkGolden(t, pp, meta)
+			if meta.Hardware("rss") {
+				hw++
+			}
+			next++
+		})
+	}
+	if next != len(packets) || hw != len(packets) {
+		t.Fatalf("delivered %d (hardware %d), want all %d from hardware", next, hw, len(packets))
+	}
+	st := drv.Hardening()
+	if st.SoftDelivered != 0 || st.Quarantined != 0 || st.DeviceFaults != 0 || st.Degraded {
+		t.Errorf("clean run tripped hardening: %+v", st)
+	}
+}
+
+// TestHardenedCorruptionQuarantined: with every completion bit-flipped, the
+// validator must quarantine 100% of them and the application still sees
+// golden values for every packet, exactly once.
+func TestHardenedCorruptionQuarantined(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true})
+	inj := faults.New(faults.Plan{Seed: 11, CorruptP: 1, BurstBits: 4})
+	drv.InjectFaults(inj)
+	packets := hardPackets(200)
+	driveExactlyOnce(t, drv, packets, 4)
+
+	st := drv.Hardening()
+	injected := inj.Stats().Injected[faults.Corrupt]
+	if injected == 0 {
+		t.Fatal("injector was not exercised")
+	}
+	caught := st.Quarantined + st.StaleDrops + st.ResyncDrops + st.SpuriousCompletions
+	if caught < injected {
+		t.Errorf("caught %d records (quarantine %d, stale %d, resync %d, spurious %d) for %d injected corruptions",
+			caught, st.Quarantined, st.StaleDrops, st.ResyncDrops, st.SpuriousCompletions, injected)
+	}
+	if st.SoftDelivered == 0 {
+		t.Error("quarantined packets must be soft-delivered")
+	}
+}
+
+// TestHardenedLostCompletions: the device accepts packets whose completions
+// never arrive; the driver resynchronizes by software delivery.
+func TestHardenedLostCompletions(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true})
+	drv.InjectFaults(faults.New(faults.Plan{Seed: 3, DropP: 1}))
+	packets := hardPackets(50)
+	driveExactlyOnce(t, drv, packets, 4)
+	st := drv.Hardening()
+	if st.ResyncDrops != 50 || st.SoftDelivered != 50 {
+		t.Errorf("resync=%d soft=%d, want 50/50", st.ResyncDrops, st.SoftDelivered)
+	}
+}
+
+// TestHardenedStaleAndDuplicate: replayed and duplicated records are
+// discarded without breaking exactly-once delivery.
+func TestHardenedStaleAndDuplicate(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true})
+	inj := faults.New(faults.Plan{Seed: 9, DuplicateP: 0.5, ReplayP: 0.2})
+	drv.InjectFaults(inj)
+	packets := hardPackets(300)
+	driveExactlyOnce(t, drv, packets, 8)
+	st := drv.Hardening()
+	if st.StaleDrops+st.SpuriousCompletions == 0 {
+		t.Errorf("no stale/spurious records discarded under duplicate+replay injection: %+v", st)
+	}
+}
+
+// TestHardenedHangDegradeRecover drives the full watchdog state machine:
+// hang → fault streak → SoftNIC degraded mode → reset with backoff →
+// re-ApplyConfig → hardware restore.
+func TestHardenedHangDegradeRecover(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true, DegradeThreshold: 4})
+	inj := faults.New(faults.Plan{Seed: 5, HangCount: 1, HangMTBF: 100, HangBurst: 50})
+	drv.InjectFaults(inj)
+
+	packets := hardPackets(1000)
+	next := 0
+	sawDegraded := false
+	lastHW := false
+	for _, p := range packets {
+		if !drv.Rx(p) {
+			t.Fatal("hardened rx refused")
+		}
+		drv.Poll(func(pp []byte, meta Meta) {
+			if &pp[0] != &packets[next][0] {
+				t.Fatalf("delivery %d out of order", next)
+			}
+			checkGolden(t, pp, meta)
+			lastHW = meta.Hardware("rss")
+			next++
+		})
+		if drv.Hardening().Degraded {
+			sawDegraded = true
+		}
+	}
+	for drv.Poll(func(pp []byte, meta Meta) { lastHW = meta.Hardware("rss"); next++ }) > 0 {
+	}
+	if next != len(packets) {
+		t.Fatalf("delivered %d of %d", next, len(packets))
+	}
+	st := drv.Hardening()
+	if !sawDegraded || st.DegradedEnters != 1 {
+		t.Errorf("degraded mode not entered exactly once: %+v", st)
+	}
+	if st.Degraded {
+		t.Error("driver still degraded at end of run")
+	}
+	if st.HardwareRestores != 1 || st.Resets != 1 {
+		t.Errorf("restores=%d resets=%d, want 1/1", st.HardwareRestores, st.Resets)
+	}
+	if st.ResetAttempts <= st.Resets {
+		t.Errorf("expected failed reset attempts during the burst (attempts=%d)", st.ResetAttempts)
+	}
+	if !lastHW {
+		t.Error("driver must serve from hardware again after recovery")
+	}
+	if dst := drv.DeviceStats(); dst.Resets != 1 {
+		t.Errorf("device resets = %d, want 1", dst.Resets)
+	}
+}
+
+// TestHardenedStatsRace scrapes stats concurrently with a faulty datapath
+// (run with -race).
+func TestHardenedStatsRace(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true, DegradeThreshold: 4})
+	drv.InjectFaults(faults.New(faults.Plan{
+		Seed: 21, CorruptP: 0.01, DropP: 0.01, DuplicateP: 0.01,
+		HangCount: 2, HangMTBF: 500, HangBurst: 30,
+	}))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = drv.Hardening()
+				_ = drv.DeviceStats()
+				_ = drv.dev.Faults().Stats()
+			}
+		}
+	}()
+	packets := hardPackets(2000)
+	next := 0
+	for _, p := range packets {
+		drv.Rx(p)
+		drv.Poll(func([]byte, Meta) { next++ })
+	}
+	for drv.Poll(func([]byte, Meta) { next++ }) > 0 {
+	}
+	close(stop)
+	wg.Wait()
+	if next != len(packets) {
+		t.Fatalf("delivered %d of %d", next, len(packets))
+	}
+}
+
+// TestHardenEvolvingRejected: facade hardening and the evolving control
+// plane are mutually exclusive.
+func TestHardenEvolvingRejected(t *testing.T) {
+	drv, err := OpenEvolving("mlx5", EvolveOptions{}, "rss", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Harden(HardenOptions{}); err == nil {
+		t.Error("Harden on an evolving driver must fail")
+	}
+	intent, err := NewIntent("x", "rss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWith("mlx5", intent, OpenOptions{Evolve: &EvolveOptions{}, Harden: &HardenOptions{}}); err == nil {
+		t.Error("OpenWith(Evolve+Harden) must fail")
+	}
+}
