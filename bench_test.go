@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"opendesc"
 	"opendesc/internal/baseline"
 	"opendesc/internal/bench"
 	"opendesc/internal/codegen"
@@ -304,6 +305,49 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}()
 		run(b, dev)
 	})
+}
+
+// BenchmarkFlightOverhead measures the flight recorder's hot-path tax on the
+// full driver datapath (Rx + Poll + three metadata reads per packet): the
+// "on" sub-benchmark records with the default sampling, "off" disables the
+// recorder at runtime (the enabled-check cost stays). The acceptance budget
+// is <5% between the two; `-tags flight_off` compiles recording out entirely.
+func BenchmarkFlightOverhead(b *testing.B) {
+	tr := workload.MustGenerate(workload.DefaultSpec())
+	run := func(b *testing.B, record bool) {
+		b.Helper()
+		intent, err := opendesc.NewIntent("bench", "rss", "vlan", "pkt_len")
+		if err != nil {
+			b.Fatal(err)
+		}
+		drv, err := opendesc.OpenIntent("e1000e", intent, opendesc.CompileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drv.Flight().SetEnabled(record)
+		var sink uint64
+		h := func(p []byte, meta opendesc.Meta) {
+			v1, _ := meta.Get("rss")
+			v2, _ := meta.Get("vlan")
+			v3, _ := meta.Get("pkt_len")
+			sink += v1 + v2 + v3
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := tr.Packets[i%len(tr.Packets)]
+			for !drv.Rx(p) {
+				drv.Poll(h)
+			}
+			if i%8 == 7 {
+				drv.Poll(h)
+			}
+		}
+		for drv.Poll(h) > 0 {
+		}
+		_ = sink
+	}
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	b.Run("off", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkRingOps measures the descriptor-queue substrate.

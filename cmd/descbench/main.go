@@ -1,5 +1,5 @@
 // Command descbench regenerates the OpenDesc experiment tables (DESIGN.md
-// index E1–E10).
+// index E1–E17).
 //
 // Usage:
 //
@@ -21,6 +21,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	packets := flag.Int("packets", 512, "trace length for timing experiments")
+	flightDump := flag.String("flight-dump", "", "directory for E17 flight-recorder postmortem dumps (.odfl)")
 	flag.Parse()
 
 	minDur := 200 * time.Millisecond
@@ -48,6 +49,13 @@ func main() {
 		{"e14", bench.E14OffloadPlan},
 		{"e15", func() (*bench.Table, error) { return bench.E15Evolve(*packets * 4) }},
 		{"e16", func() (*bench.Table, error) { return bench.E16Faults(100_000) }},
+		{"e17", func() (*bench.Table, error) {
+			n := 100_000
+			if *quick {
+				n = 0 // E17Flight clamps to its minimum
+			}
+			return bench.E17Flight(n, *flightDump)
+		}},
 	}
 
 	want := map[string]bool{}
@@ -68,7 +76,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e16)\n", flag.Args())
+		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e17)\n", flag.Args())
 		os.Exit(1)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/pkt"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
@@ -48,6 +49,8 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. corrupt=1e-3,drop=1e-4,hang=2@5000: run the hardened driver under injection and report detection/recovery")
 		seed      = flag.Uint64("seed", 1, "fault-injection PRNG seed (with -faults)")
 	)
+	flag.StringVar(&flightTrace, "flight", "", "write the flight-recorder Chrome trace (Perfetto-loadable JSON) to this file on exit")
+	flag.StringVar(&flightDump, "flight-dump", "", "directory for automatic flight-recorder postmortem dumps (.odfl, decode with 'opendesc flight')")
 	flag.Parse()
 
 	var names []semantics.Name
@@ -92,7 +95,11 @@ func main() {
 	// call counts and cycle cost show up in the dump / endpoint.
 	reg := obs.NewRegistry()
 	dev.RegisterMetrics(reg, obs.L("queue", "0"))
+	rec := flight.NewRecorder(flight.Config{})
+	dev.AttachFlight(rec.Queue("q0"))
+	armFlight(rec, reg)
 	shimStats := softnic.NewShimStats(reg)
+	shimStats.AttachFlight(rec.Queue("q0"))
 	soft := softnic.Funcs()
 	if *stats || *statsAddr != "" {
 		soft = softnic.InstrumentedFuncs(shimStats)
@@ -179,6 +186,7 @@ func main() {
 		}
 	}
 	_ = pkt.EthHeaderLen
+	finishFlight(rec)
 
 	if *statsAddr != "" {
 		fmt.Println("\nstill serving the stats endpoint; Ctrl-C to exit")
@@ -221,6 +229,7 @@ func runFaults(nicName string, names []semantics.Name, packets int, spec string,
 	// injector counters in one call.
 	reg := obs.NewRegistry()
 	drv.RegisterMetrics(reg, obs.L("queue", "0"))
+	armFlight(drv.Flight(), reg)
 	if statsAddr != "" {
 		addr, _, err := reg.Serve(statsAddr)
 		if err != nil {
@@ -323,6 +332,7 @@ func runFaults(nicName string, names []semantics.Name, packets int, spec string,
 	if dump {
 		fmt.Printf("\ndriver/device/injector counters (%s):\n%s", nicName, reg.Table())
 	}
+	finishFlight(drv.Flight())
 	if delivered != accepted || garbage > 0 {
 		os.Exit(1)
 	}
@@ -353,6 +363,7 @@ func runEvolve(model *nic.Model, intent *core.Intent, names []semantics.Name, pa
 
 	reg := obs.NewRegistry()
 	eng.RegisterMetrics(reg, obs.L("queue", "0"))
+	armFlight(eng.Flight(), reg)
 	if statsAddr != "" {
 		addr, _, err := reg.Serve(statsAddr)
 		if err != nil {
@@ -426,6 +437,7 @@ func runEvolve(model *nic.Model, intent *core.Intent, names []semantics.Name, pa
 	if dump {
 		fmt.Printf("\ndevice/ring/shim/evolve counters (%s):\n%s", model.Name, reg.Table())
 	}
+	finishFlight(eng.Flight())
 	if st.SwitchDrops != 0 {
 		fatal(fmt.Errorf("%d packets dropped across switchovers", st.SwitchDrops))
 	}
@@ -435,6 +447,49 @@ func runEvolve(model *nic.Model, intent *core.Intent, names []semantics.Name, pa
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// flightTrace/flightDump are the -flight / -flight-dump flag values, shared
+// by all three run paths.
+var flightTrace, flightDump string
+
+// armFlight applies the -flight-dump directory and mounts the live
+// /debug/flight endpoint next to /metrics.
+func armFlight(rec *flight.Recorder, reg *obs.Registry) {
+	if flightDump != "" {
+		rec.SetDumpDir(flightDump)
+	}
+	reg.Handle("/debug/flight", rec.Handler())
+}
+
+// finishFlight reports postmortems captured during the run and writes the
+// -flight Chrome-trace export.
+func finishFlight(rec *flight.Recorder) {
+	if n := rec.Postmortems(); n > 0 {
+		fmt.Printf("flight recorder: %d postmortem(s) captured", n)
+		if reason, _, ok := rec.LastPostmortem(); ok {
+			fmt.Printf(", last: %q", reason)
+		}
+		fmt.Println()
+		for _, f := range rec.DumpFiles() {
+			fmt.Printf("  dump: %s\n", f)
+		}
+	}
+	if flightTrace == "" {
+		return
+	}
+	f, err := os.Create(flightTrace)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flight trace: %s (open in https://ui.perfetto.dev)\n", flightTrace)
 }
 
 func fatal(err error) {

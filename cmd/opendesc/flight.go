@@ -1,0 +1,56 @@
+package main
+
+// The flight mode decodes flight-recorder dumps (.odfl files written by the
+// driver's automatic postmortems or the /debug/flight?format=bin endpoint):
+//
+//	opendesc flight dump.odfl            # human-readable event listing
+//	opendesc flight -chrome dump.odfl    # Chrome trace_event JSON (Perfetto)
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"opendesc/internal/obs/flight"
+)
+
+// runFlight decodes one .odfl dump to w: the human-readable event listing by
+// default, Chrome trace_event JSON with -chrome.
+func runFlight(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("flight", flag.ContinueOnError)
+	chrome := fs.Bool("chrome", false, "emit Chrome trace_event JSON (load in https://ui.perfetto.dev) instead of text")
+	outFile := fs.String("o", "", "write the decoded output to this file (default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: opendesc flight [-chrome] [-o file] dump.odfl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("flight: exactly one dump file expected (usage: opendesc flight [-chrome] [-o file] dump.odfl)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := flight.ReadDump(f)
+	if err != nil {
+		return fmt.Errorf("flight: decoding %s: %w", fs.Arg(0), err)
+	}
+	if *outFile != "" {
+		out, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		w = out
+	}
+	if *chrome {
+		return snap.WriteChromeTrace(w)
+	}
+	_, err = io.WriteString(w, snap.Format())
+	return err
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"opendesc/internal/obs/flight"
+)
+
+// testSnapshot is a deterministic flight snapshot covering the event shapes
+// the decoder has to render: instants, a deliver span with latencies, and
+// the degrade→reset→restore recovery arc.
+func testSnapshot() *flight.Snapshot {
+	return &flight.Snapshot{
+		Reason: "watchdog-degrade",
+		Epoch:  time.Unix(1700000000, 0).UTC(),
+		Queues: []flight.QueueEvents{{
+			ID:   0,
+			Name: "q0",
+			Events: []flight.Event{
+				{TS: 1000, Code: flight.EvDMAEmit, Seq: 1, Arg0: 8, Arg1: 2},
+				{TS: 1100, Code: flight.EvRingPush, Seq: 0, Arg0: 1},
+				{TS: 2000, Code: flight.EvRingPop, Seq: 0, Arg0: 0},
+				{TS: 2100, Code: flight.EvVerdict, Seq: 1, Arg0: 0, Arg1: 8},
+				{TS: 2200, Code: flight.EvReadHW, Seq: 1, Arg0: flight.PackName("rss")},
+				{TS: 2500, Code: flight.EvDeliver, Seq: 1, Arg0: 900, Arg1: 1500},
+				{TS: 5000, Code: flight.EvDegrade, Seq: 1, Arg0: 8},
+				{TS: 6000, Code: flight.EvResetAttempt, Seq: 1, Arg0: 1, Arg1: 1},
+				{TS: 7000, Code: flight.EvRestore, Seq: 1, Arg0: 1},
+			},
+		}},
+	}
+}
+
+// writeDump serializes the test snapshot to a temp .odfl file.
+func writeDump(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.odfl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testSnapshot().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlightText(t *testing.T) {
+	path := writeDump(t)
+	var out bytes.Buffer
+	if err := runFlight([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"reason: watchdog-degrade",
+		`queue 0 "q0": 9 events`,
+		"dma_emit", "verdict", "sem=rss",
+		"dma→poll=900ns dma→deliver=1500ns",
+		"degrade", "reset_attempt", "restore",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("decoded text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunFlightChromeGolden(t *testing.T) {
+	path := writeDump(t)
+	var out bytes.Buffer
+	if err := runFlight([]string{"-chrome", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Well-formedness: the export must parse as trace_event JSON with the
+	// expected top-level shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no traceEvents")
+	}
+	golden := filepath.Join("testdata", "flight_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden (run with -update-golden to refresh):\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestRunFlightErrors(t *testing.T) {
+	if err := runFlight([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("no arguments should fail")
+	}
+	if err := runFlight([]string{filepath.Join(t.TempDir(), "missing.odfl")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.odfl")
+	if err := os.WriteFile(bad, []byte("not a dump"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFlight([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestRunFlightOutputFile(t *testing.T) {
+	path := writeDump(t)
+	outPath := filepath.Join(t.TempDir(), "decoded.txt")
+	if err := runFlight([]string{"-o", outPath, path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "flight snapshot") {
+		t.Errorf("-o output incomplete: %q", b)
+	}
+}

@@ -9,6 +9,8 @@
 //	opendesc -nic mlx5 -intent app.p4 -backend go -o gen/
 //	opendesc -nic qdma -req kv_key,rss -backend ebpf
 //	opendesc -nic e1000e -req rss -backend dot > cfg.dot
+//	opendesc flight dump.odfl            # decode a flight-recorder postmortem
+//	opendesc flight -chrome dump.odfl    # ... as Perfetto-loadable JSON
 //
 // The -nic flag accepts a bundled model name (see -list) or a path to a .p4
 // interface description. The intent comes from -intent (a P4 file with a
@@ -33,6 +35,14 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag parsing: `opendesc flight <dump>`
+	// decodes a flight-recorder postmortem dump.
+	if len(os.Args) > 1 && os.Args[1] == "flight" {
+		if err := runFlight(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		list       = flag.Bool("list", false, "list bundled NIC models and exit")
 		nicArg     = flag.String("nic", "", "NIC model name or .p4 description file")

@@ -15,6 +15,7 @@ import (
 	"opendesc/internal/faults"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 )
@@ -140,6 +141,7 @@ func (d *Driver) Harden(opts HardenOptions) error {
 	if err != nil {
 		return err
 	}
+	v.AttachFlight(d.fq)
 	d.hard = &hardening{
 		opts:      opts,
 		validator: v,
@@ -169,11 +171,13 @@ func (h *hardening) rx(d *Driver, packet []byte) bool {
 		// packet is queued for software delivery while the watchdog works on
 		// recovery in the background.
 		h.tickRecovery(d)
-		d.pending = append(d.pending, pendingPkt{pkt: packet, soft: true})
+		seq := d.nextSeq()
+		d.pending = append(d.pending, pendingPkt{pkt: packet, soft: true, ts: d.fq.NowIfSampled(seq), seq: seq})
 		return true
 	}
 	if d.dev.RxPacket(packet) {
-		d.pending = append(d.pending, pendingPkt{pkt: packet})
+		seq := d.nextSeq()
+		d.pending = append(d.pending, pendingPkt{pkt: packet, ts: d.fq.NowIfSampled(seq), seq: seq})
 		h.faultStreak = 0
 		return true
 	}
@@ -189,13 +193,14 @@ func (h *hardening) rx(d *Driver, packet []byte) bool {
 	h.deviceFaults.Inc()
 	h.faultStreak++
 	if h.faultStreak >= h.opts.DegradeThreshold {
-		h.enterDegraded()
+		h.enterDegraded(d)
 	}
-	d.pending = append(d.pending, pendingPkt{pkt: packet, soft: true})
+	seq := d.nextSeq()
+	d.pending = append(d.pending, pendingPkt{pkt: packet, soft: true, ts: d.fq.NowIfSampled(seq), seq: seq})
 	return true
 }
 
-func (h *hardening) enterDegraded() {
+func (h *hardening) enterDegraded(d *Driver) {
 	if h.degraded.Load() {
 		return
 	}
@@ -203,6 +208,10 @@ func (h *hardening) enterDegraded() {
 	h.degradedEnters.Inc()
 	h.backoff = 1
 	h.untilReset = 1
+	// The watchdog tripping is exactly the moment a postmortem is for: the
+	// events leading up to the fault streak are still in the ring.
+	d.fq.Record(flight.EvDegrade, uint32(h.degradedEnters.Load()), uint64(h.faultStreak), 0)
+	d.flight.Postmortem("watchdog-degrade")
 }
 
 // tickRecovery runs once per driver operation while degraded: it advances
@@ -214,6 +223,7 @@ func (h *hardening) tickRecovery(d *Driver) {
 		return
 	}
 	h.resetAttempts.Inc()
+	d.fq.Record(flight.EvResetAttempt, uint32(h.resetAttempts.Load()), uint64(h.backoff), 0)
 	if err := d.dev.Reset(); err != nil {
 		h.bumpBackoff()
 		return
@@ -246,6 +256,10 @@ func (h *hardening) tickRecovery(d *Driver) {
 	h.faultStreak = 0
 	h.backoff = 1
 	h.restores.Inc()
+	d.fq.Record(flight.EvRestore, uint32(h.restores.Load()), h.resetAttempts.Load(), 0)
+	// Snapshot the whole degrade→reset→restore arc while it is still in the
+	// ring (the recovery postmortem E17 decodes).
+	d.flight.Postmortem("hardware-restore")
 }
 
 func (h *hardening) bumpBackoff() {
@@ -282,10 +296,11 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 		h.tickRecovery(d)
 	}
 	n := 0
+	t0 := d.fq.Now()
 	for len(d.pending) > 0 {
 		head := d.pending[0]
 		if head.soft {
-			h.deliverSoft(d, head.pkt, fn)
+			h.deliverSoft(d, head, t0, fn)
 			d.pending = d.pending[:copy(d.pending, d.pending[1:])]
 			n++
 			continue
@@ -295,7 +310,8 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			// Lost completion: the device accepted the packet but its record
 			// never arrived. Resynchronize by delivering in software.
 			h.resyncDrops.Inc()
-			h.deliverSoft(d, head.pkt, fn)
+			d.fq.RecordT(t0, flight.EvResync, head.seq, 0, 0)
+			h.deliverSoft(d, head, t0, fn)
 			d.pending = d.pending[:copy(d.pending, d.pending[1:])]
 			n++
 			continue
@@ -305,10 +321,17 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			viol = h.validator.Check(rec, head.pkt)
 		}
 		if viol == nil {
-			fn(head.pkt, Meta{rt: d.rt, cmpt: rec, pkt: head.pkt})
+			// Per-read events fire only for sampled packets (non-zero Rx
+			// stamp); a zero Meta timestamp turns Get's RecordT into a no-op.
+			mts := uint64(0)
+			if head.ts != 0 {
+				mts = t0
+			}
+			fn(head.pkt, Meta{rt: d.rt, cmpt: rec, pkt: head.pkt, fq: d.fq, ts: mts, seq: head.seq})
 			h.noteDelivered(head.pkt)
 			d.dev.CmptRing.Pop()
 			d.pending = d.pending[:copy(d.pending, d.pending[1:])]
+			d.noteDelivered(t0, head.ts, head.seq)
 			n++
 			continue
 		}
@@ -318,6 +341,7 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			// A replayed/duplicated completion of an earlier packet: discard
 			// it and retry the head against the next record.
 			h.staleDrops.Inc()
+			d.fq.RecordT(t0, flight.EvStale, head.seq, uint64(viol.Kind)+1, 0)
 			d.dev.CmptRing.Pop()
 			continue
 		}
@@ -327,7 +351,8 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			// in software and retry with the matching packet at the head.
 			for i := 0; i < skip; i++ {
 				h.resyncDrops.Inc()
-				h.deliverSoft(d, d.pending[i].pkt, fn)
+				d.fq.RecordT(t0, flight.EvResync, d.pending[i].seq, uint64(skip), 0)
+				h.deliverSoft(d, d.pending[i], t0, fn)
 				n++
 			}
 			d.pending = d.pending[:copy(d.pending, d.pending[skip:])]
@@ -336,8 +361,15 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 		// Unclassifiable: a corrupted record. Quarantine it (never expose its
 		// bits) and serve the packet from software.
 		h.quarantined.Inc()
+		d.fq.RecordT(t0, flight.EvQuarantine, head.seq, uint64(viol.Kind)+1, 0)
+		if h.quarantined.Load() == 1 {
+			// Postmortem on the first quarantine only: fault-heavy runs can
+			// quarantine thousands of records, and one snapshot of the first
+			// is what a debugging session needs.
+			d.flight.Postmortem("quarantine")
+		}
 		d.dev.CmptRing.Pop()
-		h.deliverSoft(d, head.pkt, fn)
+		h.deliverSoft(d, head, t0, fn)
 		d.pending = d.pending[:copy(d.pending, d.pending[1:])]
 		n++
 	}
@@ -349,6 +381,7 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			break
 		}
 		h.spurious.Inc()
+		d.fq.RecordT(t0, flight.EvSpurious, 0, h.spurious.Load(), 0)
 		d.dev.CmptRing.Pop()
 	}
 	return n
@@ -372,10 +405,15 @@ func (h *hardening) resyncMatch(d *Driver, rec []byte) int {
 
 // deliverSoft serves a packet entirely from the SoftNIC runtime: same
 // values as the golden reference, Meta.Hardware false for every field.
-func (h *hardening) deliverSoft(d *Driver, p []byte, fn func([]byte, Meta)) {
+func (h *hardening) deliverSoft(d *Driver, p pendingPkt, t0 uint64, fn func([]byte, Meta)) {
 	h.softDelivered.Inc()
-	fn(p, Meta{rt: h.softRT, pkt: p})
-	h.noteDelivered(p)
+	mts := uint64(0)
+	if p.ts != 0 {
+		mts = t0
+	}
+	fn(p.pkt, Meta{rt: h.softRT, pkt: p.pkt, fq: d.fq, ts: mts, seq: p.seq})
+	h.noteDelivered(p.pkt)
+	d.noteDelivered(t0, p.ts, p.seq)
 }
 
 // HardeningStats snapshots the hardened-datapath counters.

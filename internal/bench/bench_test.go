@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -404,5 +405,32 @@ func TestE15EvolveShape(t *testing.T) {
 	}
 	if !strings.Contains(tab.Note, "switchovers=") {
 		t.Errorf("note %q missing switchover count", tab.Note)
+	}
+}
+
+func TestE17FlightShape(t *testing.T) {
+	// E17Flight itself errors on any violated acceptance invariant (lost
+	// packets, missing postmortem, arc not decoding to degrade→reset→restore,
+	// no deliver latencies in the dump), so the shape test needs the run to
+	// complete, the postmortem files to land, and the table rows to render.
+	dir := t.TempDir()
+	tab, err := E17Flight(0, dir) // clamps to the experiment's minimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%s", len(tab.Rows), tab)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.odfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("no .odfl postmortem dumps written")
+	}
+	for _, r := range tab.Rows {
+		if r[0] == "recovery arc in dump" && !strings.Contains(r[1], "degrade@") {
+			t.Errorf("arc row = %q", r[1])
+		}
 	}
 }

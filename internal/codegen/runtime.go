@@ -88,6 +88,10 @@ func NewRuntime(res *core.Result, softImpls map[semantics.Name]SoftFunc) *Runtim
 	return rt
 }
 
+// Linked reports whether the reader can execute: hardware accessors always
+// can; software accessors need a shim body linked.
+func (r *Reader) Linked() bool { return r.Hardware || r.soft != nil }
+
 // Reader returns the accessor for a semantic, or nil.
 func (rt *Runtime) Reader(s semantics.Name) *Reader { return rt.byName[s] }
 

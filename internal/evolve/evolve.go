@@ -36,6 +36,7 @@ import (
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 )
@@ -119,17 +120,24 @@ const configRetries = 4
 
 // pending is one packet received but not yet delivered: the epoch tag
 // records which generation's layout its completion was serialized under.
+// ts/seq are the packet's flight-recorder timestamp and sequence.
 type pendingPkt struct {
 	pkt []byte
 	gen uint64
+	ts  uint64
+	seq uint32
 }
 
 // drainedPkt is a completion consumed during a switchover drain, parked for
 // delivery on the next Poll together with the runtime of its generation.
+// The flight timestamp/sequence ride along so the eventual delivery still
+// reports the full DMA→deliver latency (including the park).
 type drainedPkt struct {
 	pkt  []byte
 	cmpt []byte
 	rt   *codegen.Runtime
+	ts   uint64
+	seq  uint32
 }
 
 // Engine is an evolvable driver datapath: the static Open driver plus the
@@ -171,6 +179,20 @@ type Engine struct {
 	applyRetries   obs.Counter // NAKed ApplyConfig bursts retried
 	switchLatency  *obs.Histogram
 
+	// Flight recorder: fr is the engine's always-armed recorder, fq its
+	// "q0" event ring (shared with the device); rxSeq numbers received
+	// packets 1-based like the device's DMA-emit sequence. curTS/curSeq are
+	// the flight context of the packet currently being delivered, valid
+	// only inside a Poll handler (e.mu held). dmaToPoll/pollToDeliver are
+	// the per-stage completion latencies derived from matched timestamps.
+	fr            *flight.Recorder
+	fq            *flight.Queue
+	rxSeq         uint32
+	curTS         uint64
+	curSeq        uint32
+	dmaToPoll     *obs.Histogram
+	pollToDeliver *obs.Histogram
+
 	lastDiff *core.Diff
 	lastErr  error
 }
@@ -201,7 +223,13 @@ func New(model *nic.Model, intent *core.Intent, copts core.CompileOptions, opts 
 		reads:         make(map[semantics.Name]*obs.Counter, len(intent.Fields)),
 		lastReads:     make(map[semantics.Name]uint64, len(intent.Fields)),
 		switchLatency: obs.NewHistogram(),
+		fr:            flight.NewRecorder(flight.Config{}),
+		dmaToPoll:     obs.NewHistogram(),
+		pollToDeliver: obs.NewHistogram(),
 	}
+	e.fq = e.fr.Queue("q0")
+	dev.AttachFlight(e.fq)
+	e.shims.AttachFlight(e.fq)
 	for _, f := range intent.Fields {
 		e.reads[f.Semantic] = &obs.Counter{}
 	}
@@ -265,8 +293,45 @@ func (e *Engine) Rx(packet []byte) bool {
 	if !e.dev.RxPacket(packet) {
 		return false
 	}
-	e.pending = append(e.pending, pendingPkt{pkt: packet, gen: e.gen.Load()})
+	e.rxSeq++
+	e.pending = append(e.pending, pendingPkt{pkt: packet, gen: e.gen.Load(), ts: e.fq.NowIfSampled(e.rxSeq), seq: e.rxSeq})
 	return true
+}
+
+// Flight returns the engine's flight recorder (never nil).
+func (e *Engine) Flight() *flight.Recorder { return e.fr }
+
+// FlightQueue returns the engine's "q0" event ring.
+func (e *Engine) FlightQueue() *flight.Queue { return e.fq }
+
+// FlightCtx returns the flight context — event ring, Poll timestamp and
+// packet sequence — of the packet currently being delivered. Only
+// meaningful inside a Poll handler (where e.mu is held).
+func (e *Engine) FlightCtx() (*flight.Queue, uint64, uint32) { return e.fq, e.curTS, e.curSeq }
+
+// setFlightCtx arms FlightCtx for the packet about to be delivered. The
+// timestamp is zeroed for unsampled packets (zero Rx stamp) so per-read
+// events stay inside the recorder's hot-path budget (flight.SamplePeriod).
+func (e *Engine) setFlightCtx(t0, rxTS uint64, seq uint32) {
+	if rxTS != 0 {
+		e.curTS, e.curSeq = t0, seq
+	} else {
+		e.curTS, e.curSeq = 0, seq
+	}
+}
+
+// noteDelivered derives one delivered packet's per-stage latencies from its
+// flight timestamps and emits the deliver event carrying both intervals
+// (DMA→poll, DMA→deliver). No-op when the packet was off the sampling grid
+// or the recorder was off at Rx or Poll time (zero timestamps).
+func (e *Engine) noteDelivered(t0, rxTS uint64, seq uint32) {
+	if t0 == 0 || rxTS == 0 {
+		return
+	}
+	t1 := e.fq.Now()
+	e.dmaToPoll.Observe(t0 - rxTS)
+	e.pollToDeliver.Observe(t1 - t0)
+	e.fq.RecordT(t1, flight.EvDeliver, seq, t0-rxTS, t1-rxTS)
 }
 
 // PollFunc receives one delivered packet: its bytes, its completion record,
@@ -280,19 +345,24 @@ type PollFunc func(pkt, cmpt []byte, rt *codegen.Runtime)
 func (e *Engine) Poll(h PollFunc) int {
 	e.mu.Lock()
 	n := 0
+	t0 := e.fq.Now()
 	for _, d := range e.drained {
+		e.setFlightCtx(t0, d.ts, d.seq)
 		h(d.pkt, d.cmpt, d.rt)
+		e.noteDelivered(t0, d.ts, d.seq)
 		n++
 	}
 	e.drained = e.drained[:0]
 	rt := e.active.rt
 	for len(e.pending) > 0 {
 		p := e.pending[0]
+		e.setFlightCtx(t0, p.ts, p.seq)
 		if !e.dev.CmptRing.Consume(func(cmpt []byte) {
 			h(p.pkt, cmpt, rt)
 		}) {
 			break
 		}
+		e.noteDelivered(t0, p.ts, p.seq)
 		e.pending = e.pending[1:]
 		n++
 	}
@@ -414,6 +484,11 @@ func (e *Engine) switchover(next *core.Result) error {
 	oldGen := e.gen.Load()
 	old := e.active
 
+	// QUIESCE is holding e.mu (Rx and Poll serialize on it); the event marks
+	// when the producer stopped. Switchover events carry the generation in
+	// arg1 so a trace shows which epoch each phase belongs to.
+	e.fq.Record(flight.EvQuiesce, uint32(oldGen), uint64(len(e.pending)), oldGen)
+
 	// DRAIN: consume every completion still in the ring under the old
 	// layout, parking (packet, completion copy, old runtime) for delivery on
 	// the next Poll. The epoch tag on each in-flight packet must match the
@@ -427,6 +502,8 @@ func (e *Engine) switchover(next *core.Result) error {
 				pkt:  p.pkt,
 				cmpt: append([]byte(nil), cmpt...),
 				rt:   old.rt,
+				ts:   p.ts,
+				seq:  p.seq,
 			})
 		})
 		if !ok {
@@ -435,7 +512,7 @@ func (e *Engine) switchover(next *core.Result) error {
 			// under the old generation's soft runtime — the switchover stays
 			// zero-loss even when completions vanish mid-drain.
 			for _, q := range e.pending {
-				e.drained = append(e.drained, drainedPkt{pkt: q.pkt, rt: old.soft()})
+				e.drained = append(e.drained, drainedPkt{pkt: q.pkt, rt: old.soft(), ts: q.ts, seq: q.seq})
 				e.softParked.Inc()
 			}
 			e.pending = e.pending[:0]
@@ -448,6 +525,7 @@ func (e *Engine) switchover(next *core.Result) error {
 		drained++
 	}
 	e.packetsDrained.Add(uint64(drained))
+	e.fq.Record(flight.EvDrain, uint32(oldGen), uint64(drained), oldGen)
 
 	// apply pushes a register-write burst with bounded retries: a faulty
 	// control channel may NAK individual bursts, and ApplyConfig fails
@@ -473,6 +551,10 @@ func (e *Engine) switchover(next *core.Result) error {
 			cause = fmt.Errorf("%w (rollback reapply also failed: %v)", cause, rerr)
 		}
 		e.rollbacks.Inc()
+		e.fq.Record(flight.EvRollback, uint32(oldGen), uint64(next.Selected.Path.ID), oldGen)
+		// A rolled-back switchover is a postmortem moment: the quiesce/drain/
+		// apply events that led here are still in the ring.
+		e.fr.Postmortem("switchover-rollback")
 		return fmt.Errorf("evolve: switchover to path %d rolled back: %w",
 			next.Selected.Path.ID, cause)
 	}
@@ -484,6 +566,7 @@ func (e *Engine) switchover(next *core.Result) error {
 		}
 	}
 	// APPLY: push the new context constraints over the control channel.
+	e.fq.Record(flight.EvApply, uint32(oldGen+1), uint64(len(next.Config)), oldGen+1)
 	if err := apply(next.Config); err != nil {
 		return rollback(err)
 	}
@@ -495,6 +578,7 @@ func (e *Engine) switchover(next *core.Result) error {
 	if ap.ID != next.Selected.Path.ID {
 		return rollback(fmt.Errorf("device resolved path %d, want %d", ap.ID, next.Selected.Path.ID))
 	}
+	e.fq.Record(flight.EvVerify, uint32(oldGen+1), uint64(ap.ID), oldGen+1)
 	// SWAP: publish the new generation atomically (under e.mu) and record
 	// the change report.
 	e.active = &generation{
@@ -508,6 +592,7 @@ func (e *Engine) switchover(next *core.Result) error {
 	}
 	e.switchovers.Inc()
 	e.switchLatency.Observe(uint64(time.Since(start).Nanoseconds()))
+	e.fq.Record(flight.EvSwap, uint32(oldGen+1), uint64(next.Selected.Path.ID), oldGen+1)
 	return nil
 }
 
@@ -592,6 +677,8 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.AttachCounter("opendesc_evolve_apply_retries_total", "NAKed register-write bursts retried during switchover", &e.applyRetries, base...)
 	reg.AttachCounter("opendesc_evolve_delivered_total", "packets delivered to Poll handlers", &e.delivered, base...)
 	reg.AttachHistogram("opendesc_evolve_switch_latency_ns", "quiesce-to-swap switchover latency", e.switchLatency, base...)
+	reg.AttachHistogram("opendesc_flight_dma_to_poll_ns", "DMA emit to Poll pickup latency (flight recorder)", e.dmaToPoll, base...)
+	reg.AttachHistogram("opendesc_flight_poll_to_deliver_ns", "Poll pickup to handler return latency (flight recorder)", e.pollToDeliver, base...)
 	reg.GaugeFunc("opendesc_evolve_generation", "current interface generation epoch", func() int64 { return int64(e.gen.Load()) }, base...)
 	for s, c := range e.reads {
 		l := append(append([]obs.Label{}, base...), obs.L("semantic", string(s)))

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 )
 
 // Class enumerates the injected fault classes.
@@ -191,7 +192,16 @@ type Injector struct {
 	injected [Hang + 1]obs.Counter
 	resetNAK obs.Counter
 	resets   obs.Counter
+
+	// fq, when attached, receives an event per injected fault plus hang
+	// start/clear markers; a hang recovery also triggers a postmortem
+	// snapshot on the owning recorder.
+	fq *flight.Queue
 }
+
+// AttachFlight wires the injector's flight-recorder events to q (nil
+// detaches). nicsim propagates its own queue automatically on InjectFaults.
+func (inj *Injector) AttachFlight(q *flight.Queue) { inj.fq = q }
 
 // New builds an injector for a plan. A zero-valued plan injects nothing.
 func New(plan Plan) *Injector {
@@ -257,6 +267,7 @@ func (inj *Injector) Tick() (hung bool) {
 		inj.hangsDone++
 		inj.nextHang = ops + uint64(inj.plan.HangMTBF)
 		inj.injected[Hang].Inc()
+		inj.fq.Record(flight.EvHangStart, uint32(inj.hangsDone), uint64(inj.plan.HangBurst), 0)
 		return true
 	}
 	return false
@@ -277,8 +288,17 @@ func (inj *Injector) TryReset() bool {
 		inj.resetNAK.Inc()
 		return false
 	}
+	wasHung := inj.hung
 	inj.hung = false
 	inj.resets.Inc()
+	if wasHung {
+		// The hang is over: mark it and capture the flight buffer while the
+		// wedge window is still in view.
+		inj.fq.Record(flight.EvHangClear, uint32(inj.hangsDone), uint64(inj.plan.HangBurst), 0)
+		if rec := inj.fq.Recorder(); rec != nil {
+			rec.Postmortem("hang-recovery")
+		}
+	}
 	return true
 }
 
@@ -307,14 +327,17 @@ func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
 	switch {
 	case inj.hit(inj.plan.DropP):
 		inj.injected[Drop].Inc()
+		inj.noteFault(Drop)
 		return nil, nil
 	case inj.hit(inj.plan.ReplayP):
 		if stale := inj.stale(rec); stale != nil {
 			inj.injected[Replay].Inc()
+			inj.noteFault(Replay)
 			return stale, nil
 		}
 	case inj.hit(inj.plan.DuplicateP):
 		inj.injected[Duplicate].Inc()
+		inj.noteFault(Duplicate)
 		inj.remember(rec)
 		return rec, rec
 	case inj.hit(inj.plan.TruncateP):
@@ -330,6 +353,7 @@ func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
 		}
 		if changed {
 			inj.injected[Truncate].Inc()
+			inj.noteFault(Truncate)
 			return rec, nil
 		}
 	case inj.hit(inj.plan.CorruptP):
@@ -347,11 +371,18 @@ func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
 		}
 		if !bytesEqual(rec, before) {
 			inj.injected[Corrupt].Inc()
+			inj.noteFault(Corrupt)
 			return rec, nil
 		}
 	}
 	inj.remember(rec)
 	return rec, nil
+}
+
+// noteFault records an injected fault in the flight stream, tagged with the
+// device-operation clock so it aligns with the surrounding DMA events.
+func (inj *Injector) noteFault(c Class) {
+	inj.fq.Record(flight.EvFault, uint32(inj.ops.Load()), uint64(c), 0)
 }
 
 // remember snapshots a clean record into the replay pool.

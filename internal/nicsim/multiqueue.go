@@ -7,6 +7,7 @@ import (
 	"opendesc/internal/core"
 	"opendesc/internal/nic"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/pkt"
 	"opendesc/internal/semantics"
 )
@@ -87,6 +88,14 @@ func (mq *MultiQueue) RxPacket(packet []byte) int {
 		return -1
 	}
 	return q
+}
+
+// AttachFlight gives every queue its own event ring ("q0", "q1", …) on rec,
+// so a multi-queue trace renders one Perfetto track per hardware queue.
+func (mq *MultiQueue) AttachFlight(rec *flight.Recorder) {
+	for i, q := range mq.Queues {
+		q.AttachFlight(rec.Queue("q" + strconv.Itoa(i)))
+	}
 }
 
 // Dropped returns the number of filtered or overflowed packets.

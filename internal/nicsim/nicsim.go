@@ -21,6 +21,7 @@ import (
 	"opendesc/internal/faults"
 	"opendesc/internal/nic"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/pkt"
 	"opendesc/internal/ring"
@@ -102,6 +103,9 @@ type Device struct {
 	// faults, when non-nil, is the fault-injection layer consulted on every
 	// DMA/completion and control-channel operation.
 	faults *faults.Injector
+	// fq, when attached, receives device-side flight-recorder events (DMA
+	// emit, hang drops, resets). Nil by default.
+	fq *flight.Queue
 	// Fault-path counters (all zero on a healthy device).
 	cfgNAKs    obs.Counter // ApplyConfig bursts refused (wedge or NAK)
 	hangDrops  obs.Counter // packets refused while the device was wedged
@@ -386,6 +390,7 @@ func (d *Device) RxPacket(packet []byte) bool {
 		// Wedged: the device refuses the packet outright.
 		d.hangDrops.Inc()
 		d.drops.Inc()
+		d.fq.Record(flight.EvHangDrop, uint32(d.rxPackets.Load()), 0, 0)
 		return false
 	}
 	slot := int(d.rxPackets.Load()) % d.Buffers.Count()
@@ -418,6 +423,7 @@ func (d *Device) RxPacket(packet []byte) bool {
 		d.lostCmpts.Inc()
 		d.rxPackets.Inc()
 		d.rxBytes.Add(uint64(len(packet)))
+		d.fq.Record(flight.EvDMALost, uint32(d.rxPackets.Load()), uint64(n), 0)
 		return true
 	}
 	if !d.CmptRing.Push(rec) {
@@ -432,16 +438,39 @@ func (d *Device) RxPacket(packet []byte) bool {
 	d.rxPackets.Inc()
 	d.rxBytes.Add(uint64(len(packet)))
 	d.cmptBytes.Add(uint64(len(rec)))
-	if idx := d.activePathIndex(); idx >= 0 {
+	idx := d.activePathIndex()
+	if idx >= 0 {
 		d.pathHits[idx].Inc()
+	}
+	// seq is the 1-based packet count, matching the driver's Rx sequence.
+	// Routine emits are sampled (flight.SamplePeriod) to stay inside the
+	// recorder's hot-path budget; anomalies above are always recorded.
+	if seq := uint32(d.rxPackets.Load()); flight.Sampled(seq) {
+		d.fq.Record(flight.EvDMAEmit, seq, uint64(len(rec)), uint64(idx+1))
 	}
 	return true
 }
 
 // InjectFaults attaches a fault-injection layer; nil detaches it. The
 // injector is consulted from the device datapath goroutine on every RX, TX,
-// control-channel and reset operation.
-func (d *Device) InjectFaults(inj *faults.Injector) { d.faults = inj }
+// control-channel and reset operation. An already-attached flight queue is
+// propagated so injected faults show up in the event stream.
+func (d *Device) InjectFaults(inj *faults.Injector) {
+	d.faults = inj
+	if inj != nil && d.fq != nil {
+		inj.AttachFlight(d.fq)
+	}
+}
+
+// AttachFlight wires the device, its completion ring, and any attached fault
+// injector to a flight-recorder queue. Attach before the datapath starts.
+func (d *Device) AttachFlight(q *flight.Queue) {
+	d.fq = q
+	d.CmptRing.AttachFlight(q)
+	if d.faults != nil {
+		d.faults.AttachFlight(q)
+	}
+}
 
 // Faults returns the attached injector (nil on a healthy device).
 func (d *Device) Faults() *faults.Injector { return d.faults }
@@ -472,6 +501,7 @@ func (d *Device) Reset() error {
 	d.ctx = make(map[string]sema.Value)
 	d.curPath.Store(-1)
 	d.resets.Inc()
+	d.fq.Record(flight.EvDevReset, uint32(d.resets.Load()), 0, 0)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 )
@@ -137,8 +138,31 @@ func (r *Registry) WriteVars(w io.Writer) error {
 	return err
 }
 
-// Handler returns an http.Handler serving /metrics (Prometheus text
-// format), /debug/vars (JSON), and a tiny index at /.
+// extraRoute is a caller-mounted handler (e.g. /debug/flight).
+type extraRoute struct {
+	pattern string
+	h       http.Handler
+}
+
+// Handle mounts an additional handler on the stats mux built by Handler().
+// Registering the same pattern again replaces the previous handler. Call it
+// before Handler()/Serve(); later registrations only affect muxes built
+// afterwards.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.extra {
+		if r.extra[i].pattern == pattern {
+			r.extra[i].h = h
+			return
+		}
+	}
+	r.extra = append(r.extra, extraRoute{pattern: pattern, h: h})
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text format),
+// /debug/vars (JSON), the net/http/pprof profiler under /debug/pprof/, any
+// routes mounted with Handle, and a tiny index at /.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -149,12 +173,26 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteVars(w)
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	r.mu.Lock()
+	extra := append([]extraRoute(nil), r.extra...)
+	r.mu.Unlock()
+	for _, e := range extra {
+		mux.Handle(e.pattern, e.h)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "opendesc stats: /metrics (Prometheus), /debug/vars (JSON)\n")
+		fmt.Fprint(w, "opendesc stats: /metrics (Prometheus), /debug/vars (JSON), /debug/pprof/ (profiler)\n")
+		for _, e := range extra {
+			fmt.Fprintf(w, "extra: %s\n", e.pattern)
+		}
 	})
 	return mux
 }

@@ -1,0 +1,17 @@
+//go:build flight_off
+
+package flight
+
+// Compiled reports whether recording is compiled in (false under the
+// flight_off build tag).
+const Compiled = false
+
+// Now is compiled out: it always reports recording-off so instrumented call
+// sites skip their event emission entirely.
+func (q *Queue) Now() uint64 { return 0 }
+
+// Record is compiled out.
+func (q *Queue) Record(c Code, seq uint32, a0, a1 uint64) {}
+
+// RecordT is compiled out.
+func (q *Queue) RecordT(ts uint64, c Code, seq uint32, a0, a1 uint64) {}

@@ -1,0 +1,27 @@
+//go:build flight_off
+
+package flight
+
+import "testing"
+
+// Under -tags flight_off the recorder must compile to nothing: Now reports
+// zero, Record/RecordT leave the ring empty, and Compiled is false so
+// callers can surface the build mode.
+func TestFlightOffIsNoOp(t *testing.T) {
+	if Compiled {
+		t.Fatal("Compiled = true under flight_off")
+	}
+	r := NewRecorder(Config{Size: 16})
+	q := r.Queue("q0")
+	if ts := q.Now(); ts != 0 {
+		t.Errorf("Now() = %d, want 0", ts)
+	}
+	q.Record(EvDMAEmit, 1, 2, 3)
+	q.RecordT(42, EvDeliver, 1, 2, 3)
+	snap := r.Snapshot()
+	for _, qs := range snap.Queues {
+		if len(qs.Events) != 0 {
+			t.Errorf("queue %q holds %d events, want 0", qs.Name, len(qs.Events))
+		}
+	}
+}

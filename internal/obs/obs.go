@@ -146,6 +146,7 @@ type Registry struct {
 	mu      sync.Mutex
 	ordered []*metric
 	byKey   map[string]*metric
+	extra   []extraRoute // additional handlers mounted on Handler()'s mux
 }
 
 // NewRegistry returns an empty registry.

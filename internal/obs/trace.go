@@ -70,23 +70,42 @@ func (t *Trace) Span(stage string) *Span {
 	return nil
 }
 
-// fmtDur renders a duration compactly with µs precision.
+// fmtDur renders a duration compactly. Sub-microsecond durations keep ns
+// precision (they used to collapse to "0µs"), and the µs tier rounds to the
+// nearest microsecond so values in [999.5µs, 1ms) promote to "1.000ms"
+// instead of truncating to "999µs".
 func fmtDur(d time.Duration) string {
 	switch {
 	case d >= time.Second:
 		return fmt.Sprintf("%.3fs", d.Seconds())
-	case d >= time.Millisecond:
-		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
 	default:
-		return fmt.Sprintf("%dµs", d.Microseconds())
+		us := (d + 500*time.Nanosecond) / time.Microsecond
+		switch {
+		case us >= 1_000_000: // 999.9995ms+ rounds into the seconds tier
+			return fmt.Sprintf("%.3fs", float64(us)/1e6)
+		case us >= 1000:
+			return fmt.Sprintf("%.3fms", float64(us)/1000)
+		default:
+			return fmt.Sprintf("%dµs", us)
+		}
 	}
 }
 
 // Report renders the span table: stage, duration, share of total, notes.
+// Spans still open at report time are closed virtually — they display their
+// elapsed-so-far duration tagged "(open)" rather than a misleading zero.
 func (t *Trace) Report() string {
+	now := time.Now()
+	durs := make([]time.Duration, len(t.spans))
 	var total time.Duration
-	for _, s := range t.spans {
-		total += s.Dur
+	for i, s := range t.spans {
+		durs[i] = s.Dur
+		if !s.done {
+			durs[i] = now.Sub(s.Start)
+		}
+		total += durs[i]
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "trace %s: %d stages, total %s\n", t.Name, len(t.spans), fmtDur(total))
@@ -96,12 +115,15 @@ func (t *Trace) Report() string {
 			width = len(s.Stage)
 		}
 	}
-	for _, s := range t.spans {
+	for i, s := range t.spans {
 		share := 0.0
 		if total > 0 {
-			share = 100 * float64(s.Dur) / float64(total)
+			share = 100 * float64(durs[i]) / float64(total)
 		}
-		fmt.Fprintf(&sb, "  %-*s  %10s  %5.1f%%", width, s.Stage, fmtDur(s.Dur), share)
+		fmt.Fprintf(&sb, "  %-*s  %10s  %5.1f%%", width, s.Stage, fmtDur(durs[i]), share)
+		if !s.done {
+			sb.WriteString("  (open)")
+		}
 		for _, n := range s.notes {
 			fmt.Fprintf(&sb, "  %s=%s", n.key, n.val)
 		}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFmtDurBoundaries pins the rounding behavior at the tier boundaries:
+// sub-µs durations must not collapse to "0µs", and [999.5µs, 1ms) must
+// promote to the ms tier instead of truncating to "999µs".
+func TestFmtDurBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0ns"},
+		{1 * time.Nanosecond, "1ns"},
+		{999 * time.Nanosecond, "999ns"},
+		{1 * time.Microsecond, "1µs"},
+		{1499 * time.Nanosecond, "1µs"},
+		{1500 * time.Nanosecond, "2µs"},
+		{999*time.Microsecond + 499*time.Nanosecond, "999µs"},
+		{999*time.Microsecond + 500*time.Nanosecond, "1.000ms"},
+		{999999 * time.Nanosecond, "1.000ms"},
+		{1 * time.Millisecond, "1.000ms"},
+		{1500 * time.Microsecond, "1.500ms"},
+		{999 * time.Millisecond, "999.000ms"},
+		{999*time.Millisecond + 999*time.Microsecond + 500*time.Nanosecond, "1.000s"},
+		{time.Second, "1.000s"},
+		{2500 * time.Millisecond, "2.500s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestTraceReportOpenSpan is the regression test for the open-span bug:
+// Report() used to print zero duration and 0.0% share for spans never
+// End()ed; it must now show their elapsed time tagged "(open)".
+func TestTraceReportOpenSpan(t *testing.T) {
+	tr := NewTrace("open demo")
+	done := tr.Start("finished")
+	time.Sleep(2 * time.Millisecond)
+	done.End()
+	open := tr.Start("unfinished")
+	time.Sleep(2 * time.Millisecond)
+
+	rep := tr.Report()
+	if !strings.Contains(rep, "(open)") {
+		t.Fatalf("report does not mark the open span:\n%s", rep)
+	}
+	// The open span slept ~2ms: it must contribute a real duration and a
+	// real share, so the finished span cannot claim ~100%.
+	for _, line := range strings.Split(rep, "\n") {
+		if !strings.Contains(line, "unfinished") {
+			continue
+		}
+		if strings.Contains(line, "0ns") || strings.Contains(line, "  0.0%") {
+			t.Errorf("open span still reports zero: %q", line)
+		}
+		if strings.Contains(line, "100.0%") {
+			t.Errorf("open span share implausible: %q", line)
+		}
+	}
+	if open.Dur != 0 || open.done {
+		t.Error("Report must not mutate the open span")
+	}
+	// Ending it later still works and clears the marker.
+	open.End()
+	if rep := tr.Report(); strings.Contains(rep, "(open)") {
+		t.Errorf("span ended but still marked open:\n%s", rep)
+	}
+}
+
+// TestHandlerExtraRoutesAndPprof covers the Handle() extension point and the
+// pprof wiring on the stats mux.
+func TestHandlerExtraRoutesAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "").Inc()
+	reg.Handle("/debug/flight", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "flight here")
+	}))
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/debug/flight"); code != http.StatusOK || body != "flight here" {
+		t.Errorf("extra route: %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: %d", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("pprof cmdline: %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/debug/flight") {
+		t.Errorf("index must list extras: %d %q", code, body)
+	}
+	// Re-registering a pattern replaces the handler on later muxes.
+	reg.Handle("/debug/flight", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "v2")
+	}))
+	srv2 := httptest.NewServer(reg.Handler())
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "v2" {
+		t.Errorf("replaced handler body = %q", b)
+	}
+}

@@ -9,6 +9,8 @@ package ring
 import (
 	"fmt"
 	"sync/atomic"
+
+	"opendesc/internal/obs/flight"
 )
 
 // Ring is a SPSC circular queue of fixed-size byte records.
@@ -17,6 +19,10 @@ type Ring struct {
 	entrySize int
 	capacity  uint32 // number of entries, power of two
 	mask      uint32
+
+	// fq, when attached, receives push/pop/stall/wrap flight-recorder
+	// events. Nil by default: an unattached ring records nothing.
+	fq *flight.Queue
 
 	// head is the consumer index, tail the producer index; both increase
 	// monotonically and are reduced modulo capacity on access. Atomic so a
@@ -28,11 +34,11 @@ type Ring struct {
 	// counters sit on separate cache lines (via the pad) so the SPSC halves
 	// do not false-share; all are atomic so a stats scraper may read them
 	// concurrently with the datapath.
-	produced   atomic.Uint64
-	fullStalls atomic.Uint64
-	oversized  atomic.Uint64
-	highWater  atomic.Uint32 // occupancy high-water mark (entries)
-	_          [36]byte
+	produced    atomic.Uint64
+	fullStalls  atomic.Uint64
+	oversized   atomic.Uint64
+	highWater   atomic.Uint32 // occupancy high-water mark (entries)
+	_           [36]byte
 	consumed    atomic.Uint64
 	emptyStalls atomic.Uint64
 }
@@ -114,6 +120,10 @@ func MustNew(entrySize, capacity int) *Ring {
 	return r
 }
 
+// AttachFlight points the ring's flight-recorder events at q. Attach before
+// the datapath starts; a nil queue (the default) keeps the ring silent.
+func (r *Ring) AttachFlight(q *flight.Queue) { r.fq = q }
+
 // EntrySize returns the record size in bytes.
 func (r *Ring) EntrySize() int { return r.entrySize }
 
@@ -142,11 +152,22 @@ func (r *Ring) Produce(fill func(entry []byte)) bool {
 	head := r.head.Load()
 	if tail-head >= r.capacity {
 		r.fullStalls.Add(1)
+		r.fq.Record(flight.EvRingFull, tail, uint64(r.capacity), 0)
 		return false
 	}
 	fill(r.slot(tail))
 	r.tail.Store(tail + 1)
 	r.noteProduced(tail + 1 - head)
+	if r.fq != nil {
+		// Pushes are routine per-completion traffic: sampled. Wraps are rare
+		// (one per lap) and always recorded.
+		if flight.Sampled(tail) {
+			r.fq.Record(flight.EvRingPush, tail, uint64(tail+1-head), 0)
+		}
+		if (tail+1)&r.mask == 0 {
+			r.fq.Record(flight.EvRingWrap, tail, uint64((tail+1)/r.capacity), 0)
+		}
+	}
 	return true
 }
 
@@ -180,13 +201,22 @@ func (r *Ring) MustPush(rec []byte) bool {
 // the ring is empty. The slice passed to use is only valid during the call.
 func (r *Ring) Consume(use func(entry []byte)) bool {
 	head := r.head.Load()
-	if head == r.tail.Load() {
-		r.emptyStalls.Add(1)
+	tail := r.tail.Load()
+	if head == tail {
+		// Empty polls are routine in a spin-polling driver: sampled on the
+		// stall count so a busy-wait loop can't flood the ring and evict the
+		// history that matters.
+		if n := r.emptyStalls.Add(1); flight.Sampled(uint32(n)) {
+			r.fq.Record(flight.EvRingEmpty, head, 0, 0)
+		}
 		return false
 	}
 	use(r.slot(head))
 	r.head.Store(head + 1)
 	r.consumed.Add(1)
+	if flight.Sampled(head) {
+		r.fq.Record(flight.EvRingPop, head, uint64(tail-head-1), 0)
+	}
 	return true
 }
 
@@ -204,12 +234,18 @@ func (r *Ring) Peek() []byte {
 // released.
 func (r *Ring) Pop() bool {
 	head := r.head.Load()
-	if head == r.tail.Load() {
-		r.emptyStalls.Add(1)
+	tail := r.tail.Load()
+	if head == tail {
+		if n := r.emptyStalls.Add(1); flight.Sampled(uint32(n)) {
+			r.fq.Record(flight.EvRingEmpty, head, 0, 0)
+		}
 		return false
 	}
 	r.head.Store(head + 1)
 	r.consumed.Add(1)
+	if flight.Sampled(head) {
+		r.fq.Record(flight.EvRingPop, head, uint64(tail-head-1), 0)
+	}
 	return true
 }
 
@@ -219,7 +255,9 @@ func (r *Ring) ConsumeBatch(max int, use func(i int, entry []byte)) int {
 	head := r.head.Load()
 	avail := int(r.tail.Load() - head)
 	if avail == 0 {
-		r.emptyStalls.Add(1)
+		if n := r.emptyStalls.Add(1); flight.Sampled(uint32(n)) {
+			r.fq.Record(flight.EvRingEmpty, head, 0, 0)
+		}
 		return 0
 	}
 	if max > 0 && avail > max {
@@ -230,6 +268,8 @@ func (r *Ring) ConsumeBatch(max int, use func(i int, entry []byte)) int {
 	}
 	r.head.Store(head + uint32(avail))
 	r.consumed.Add(uint64(avail))
+	// One event for the burst, not one per entry: arg0 = batch size.
+	r.fq.Record(flight.EvRingPop, head, uint64(avail), 0)
 	return avail
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"opendesc/internal/codegen"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/semantics"
 )
 
@@ -15,7 +16,14 @@ import (
 type ShimStats struct {
 	calls map[semantics.Name]*obs.Counter
 	nanos map[semantics.Name]*obs.Counter
+	// fq, when attached, receives one flight event per shim call with the
+	// packed semantic name and the call's duration.
+	fq *flight.Queue
 }
+
+// AttachFlight wires per-call shim events into a flight-recorder queue
+// (affects funcs built by InstrumentedFuncs after the call).
+func (st *ShimStats) AttachFlight(q *flight.Queue) { st.fq = q }
 
 // NewShimStats creates counters for every emulable semantic and, when reg
 // is non-nil, registers them as
@@ -82,11 +90,18 @@ func InstrumentedFuncs(st *ShimStats) map[semantics.Name]codegen.SoftFunc {
 	for name, f := range Funcs() {
 		name, f := name, f
 		calls, nanos := st.calls[name], st.nanos[name]
+		packed := flight.PackName(string(name))
 		out[name] = func(packet []byte) uint64 {
 			start := time.Now()
 			v := f(packet)
-			nanos.Add(uint64(time.Since(start).Nanoseconds()))
+			dur := uint64(time.Since(start).Nanoseconds())
+			nanos.Add(dur)
 			calls.Inc()
+			// Shim calls are routine per-read traffic: sampled on the call
+			// count (flight.SamplePeriod) to stay inside the hot-path budget.
+			if n := uint32(calls.Load()); flight.Sampled(n) {
+				st.fq.Record(flight.EvShim, n, packed, dur)
+			}
 			return v
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/p4/parser"
 	"opendesc/internal/p4/sema"
 	"opendesc/internal/semantics"
@@ -174,20 +175,34 @@ type Meta struct {
 	// note, when non-nil, records each read for the renegotiation control
 	// plane (the live feature mix an evolving driver optimizes for).
 	note func(semantics.Name)
+	// fq/ts/seq, when ts is non-zero, emit one flight event per read
+	// (hardware descriptor load vs SoftNIC shim call), reusing the Poll
+	// timestamp so the hot path pays no extra clock read.
+	fq  *flight.Queue
+	ts  uint64
+	seq uint32
 }
 
 // Get returns the value of a semantic for the current packet: a constant
 // -time descriptor read when the selected layout carries it, the SoftNIC
 // shim otherwise. ok is false for semantics outside the compiled intent.
 func (m Meta) Get(sem string) (uint64, bool) {
+	name := semantics.Name(sem)
 	if m.note != nil {
-		m.note(semantics.Name(sem))
+		m.note(name)
 	}
-	v, err := m.rt.Read(semantics.Name(sem), m.cmpt, m.pkt)
-	if err != nil {
+	r := m.rt.Reader(name)
+	if r == nil || !r.Linked() {
 		return 0, false
 	}
-	return v, true
+	if m.ts != 0 {
+		code := flight.EvReadSoft
+		if r.Hardware {
+			code = flight.EvReadHW
+		}
+		m.fq.RecordT(m.ts, code, m.seq, flight.PackName(sem), 0)
+	}
+	return r.Read(m.cmpt, m.pkt), true
 }
 
 // Hardware reports whether the semantic is served directly from the
@@ -208,6 +223,21 @@ type Driver struct {
 	rt      *codegen.Runtime
 	pending []pendingPkt
 
+	// flight is the driver's always-armed flight recorder; fq its "q0"
+	// event ring, shared with the device so DMA, ring, validator, and
+	// delivery events interleave on one timeline. Evolving drivers use the
+	// engine's recorder instead (see Flight).
+	flight *flight.Recorder
+	fq     *flight.Queue
+	// rxSeq numbers accepted packets 1-based, matching the device's
+	// DMA-emit sequence so driver and device events correlate.
+	rxSeq uint32
+	// dmaToPoll / pollToDeliver are per-stage completion latencies derived
+	// from matched flight timestamps (DMA-emit → Poll pickup → handler
+	// return).
+	dmaToPoll     *obs.Histogram
+	pollToDeliver *obs.Histogram
+
 	// engine is non-nil for evolving drivers; the datapath then delegates
 	// to the renegotiation control plane.
 	engine *evolve.Engine
@@ -217,10 +247,14 @@ type Driver struct {
 
 // pendingPkt is one packet awaiting its completion; soft marks packets that
 // will be served from the SoftNIC runtime instead of a device record
-// (quarantined completion, lost completion, or degraded mode).
+// (quarantined completion, lost completion, or degraded mode). ts and seq
+// are the packet's flight-recorder timestamp and sequence (zero when the
+// recorder is disabled or compiled out).
 type pendingPkt struct {
 	pkt  []byte
 	soft bool
+	ts   uint64
+	seq  uint32
 }
 
 // errEvolvingHarden: facade hardening applies to pinned drivers; the
@@ -293,11 +327,17 @@ func OpenWith(nicName string, intent *Intent, opts OpenOptions) (*Driver, error)
 	if err := dev.ApplyConfig(res.Config); err != nil {
 		return nil, err
 	}
+	rec := flight.NewRecorder(flight.Config{})
 	d := &Driver{
-		Result: res,
-		dev:    dev,
-		rt:     codegen.NewRuntime(res, softnic.Funcs()),
+		Result:        res,
+		dev:           dev,
+		rt:            codegen.NewRuntime(res, softnic.Funcs()),
+		flight:        rec,
+		fq:            rec.Queue("q0"),
+		dmaToPoll:     obs.NewHistogram(),
+		pollToDeliver: obs.NewHistogram(),
 	}
+	dev.AttachFlight(d.fq)
 	if opts.Harden != nil {
 		if err := d.Harden(*opts.Harden); err != nil {
 			return nil, err
@@ -318,8 +358,32 @@ func (d *Driver) Rx(packet []byte) bool {
 	if !d.dev.RxPacket(packet) {
 		return false
 	}
-	d.pending = append(d.pending, pendingPkt{pkt: packet})
+	seq := d.nextSeq()
+	d.pending = append(d.pending, pendingPkt{pkt: packet, ts: d.fq.NowIfSampled(seq), seq: seq})
 	return true
+}
+
+// nextSeq numbers an accepted packet (1-based, like the device's DMA-emit
+// sequence).
+func (d *Driver) nextSeq() uint32 {
+	d.rxSeq++
+	return d.rxSeq
+}
+
+// noteDelivered derives one completed packet's per-stage latencies from its
+// flight timestamps — rxTS stamped at Rx, t0 when the current Poll began —
+// and emits the deliver event carrying both intervals, so trace viewers can
+// render DMA→deliver as a span. A zero rxTS means the packet was not on the
+// sampling grid (or the recorder was off at Rx): the whole derivation is
+// skipped, which is what keeps the recorder inside its hot-path budget.
+func (d *Driver) noteDelivered(t0, rxTS uint64, seq uint32) {
+	if t0 == 0 || rxTS == 0 {
+		return
+	}
+	t1 := d.fq.Now()
+	d.dmaToPoll.Observe(t0 - rxTS)
+	d.pollToDeliver.Observe(t1 - t0)
+	d.fq.RecordT(t1, flight.EvDeliver, seq, t0-rxTS, t1-rxTS)
 }
 
 // Poll drains completed packets, invoking h for each with its metadata view,
@@ -331,7 +395,8 @@ func (d *Driver) Rx(packet []byte) bool {
 func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
 	if d.engine != nil {
 		n := d.engine.Poll(func(pkt, cmpt []byte, rt *codegen.Runtime) {
-			h(pkt, Meta{rt: rt, cmpt: cmpt, pkt: pkt, note: d.engine.NoteRead})
+			fq, ts, seq := d.engine.FlightCtx()
+			h(pkt, Meta{rt: rt, cmpt: cmpt, pkt: pkt, note: d.engine.NoteRead, fq: fq, ts: ts, seq: seq})
 		})
 		d.Result = d.engine.Result()
 		return n
@@ -340,17 +405,36 @@ func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
 		return d.hard.poll(d, h)
 	}
 	n := 0
+	t0 := d.fq.Now()
 	for n < len(d.pending) {
-		p := d.pending[n].pkt
+		p := d.pending[n]
+		// Per-read events fire only for sampled packets (non-zero Rx stamp):
+		// a zero Meta timestamp turns Get's RecordT into a no-op.
+		mts := uint64(0)
+		if p.ts != 0 {
+			mts = t0
+		}
 		if !d.dev.CmptRing.Consume(func(cmpt []byte) {
-			h(p, Meta{rt: d.rt, cmpt: cmpt, pkt: p})
+			h(p.pkt, Meta{rt: d.rt, cmpt: cmpt, pkt: p.pkt, fq: d.fq, ts: mts, seq: p.seq})
 		}) {
 			break
 		}
+		d.noteDelivered(t0, p.ts, p.seq)
 		n++
 	}
 	d.pending = d.pending[:copy(d.pending, d.pending[n:])]
 	return n
+}
+
+// Flight returns the driver's flight recorder — the always-on per-queue
+// event ring behind postmortem dumps, Chrome-trace export (WriteChromeTrace)
+// and the /debug/flight endpoint. Never nil; evolving drivers return the
+// engine's recorder.
+func (d *Driver) Flight() *flight.Recorder {
+	if d.engine != nil {
+		return d.engine.Flight()
+	}
+	return d.flight
 }
 
 // Evolution snapshots the renegotiation control-plane counters (generation,
@@ -399,6 +483,8 @@ func (d *Driver) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 		return
 	}
 	d.dev.RegisterMetrics(reg, labels...)
+	reg.AttachHistogram("opendesc_flight_dma_to_poll_ns", "DMA emit to Poll pickup latency (flight recorder)", d.dmaToPoll, labels...)
+	reg.AttachHistogram("opendesc_flight_poll_to_deliver_ns", "Poll pickup to handler return latency (flight recorder)", d.pollToDeliver, labels...)
 	if d.hard != nil {
 		d.hard.registerMetrics(reg, labels...)
 	}
