@@ -1,5 +1,5 @@
 // Command descbench regenerates the OpenDesc experiment tables (DESIGN.md
-// index E1–E17).
+// index E1–E18).
 //
 // Usage:
 //
@@ -56,6 +56,13 @@ func main() {
 			}
 			return bench.E17Flight(n, *flightDump)
 		}},
+		{"e18", func() (*bench.Table, error) {
+			n := 10_000
+			if *quick {
+				n = 1_000
+			}
+			return bench.E18Chaos(n)
+		}},
 	}
 
 	want := map[string]bool{}
@@ -76,7 +83,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e17)\n", flag.Args())
+		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e18)\n", flag.Args())
 		os.Exit(1)
 	}
 }

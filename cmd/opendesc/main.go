@@ -11,6 +11,9 @@
 //	opendesc -nic e1000e -req rss -backend dot > cfg.dot
 //	opendesc flight dump.odfl            # decode a flight-recorder postmortem
 //	opendesc flight -chrome dump.odfl    # ... as Perfetto-loadable JSON
+//	opendesc chaos -cases 1000           # deterministic whole-stack chaos sweep
+//	opendesc chaos -seed 7 -bug -shrink  # catch the canary bug, emit a minimal reproducer
+//	opendesc chaos -replay repro.chaos   # replay a shrunk reproducer spec
 //
 // The -nic flag accepts a bundled model name (see -list) or a path to a .p4
 // interface description. The intent comes from -intent (a P4 file with a
@@ -36,9 +39,16 @@ import (
 
 func main() {
 	// Subcommand dispatch before flag parsing: `opendesc flight <dump>`
-	// decodes a flight-recorder postmortem dump.
+	// decodes a flight-recorder postmortem dump; `opendesc chaos` runs the
+	// deterministic simulation harness.
 	if len(os.Args) > 1 && os.Args[1] == "flight" {
 		if err := runFlight(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := runChaos(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

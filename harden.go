@@ -18,6 +18,7 @@ import (
 	"opendesc/internal/obs/flight"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
 )
 
 // HardenOptions tunes the hardened datapath enabled by Driver.Harden.
@@ -43,6 +44,16 @@ type HardenOptions struct {
 	// matched against when resynchronizing after a lost completion
 	// (default 8, the injector's replay depth).
 	ResyncWindow int
+	// DisableResync turns the lost-completion resynchronization path off: a
+	// packet whose record never arrives stays pending forever instead of being
+	// re-delivered in software. This deliberately re-opens the pre-resync
+	// liveness bug so the chaos harness can prove its oracles catch it; never
+	// set it outside a test.
+	DisableResync bool
+	// Clock is the timeline degraded-mode residency is measured on (nil
+	// selects the process wall clock). The watchdog itself stays op-counted —
+	// only the residency stamps read the clock.
+	Clock vclock.Clock
 }
 
 func (o HardenOptions) withDefaults() HardenOptions {
@@ -58,6 +69,7 @@ func (o HardenOptions) withDefaults() HardenOptions {
 	if o.ResyncWindow <= 0 {
 		o.ResyncWindow = 8
 	}
+	o.Clock = vclock.Or(o.Clock)
 	return o
 }
 
@@ -77,6 +89,13 @@ type hardening struct {
 	faultStreak int
 	backoff     int // current reset backoff, in driver operations
 	untilReset  int
+
+	// degradedSince stamps (on the injected clock) when degraded mode was
+	// entered; degradedNs accumulates completed residencies. Atomic because
+	// Hardening() folds the open residency in from another goroutine.
+	degradedSince atomic.Uint64
+	degradedNs    atomic.Uint64
+	degradedOps   obs.Counter // driver operations spent in degraded mode
 
 	// delivered is a ring of the most recently delivered packets, used to
 	// classify rejected records as stale replays/duplicates.
@@ -120,7 +139,7 @@ func (d *Driver) Harden(opts HardenOptions) error {
 		return errEvolvingHarden
 	}
 	opts = opts.withDefaults()
-	consts := softConsts(nicsim.Config{}.WithDefaults())
+	consts := softConsts(d.dev.Config())
 	soft := softnic.Funcs()
 	for sem, v := range consts {
 		if _, ok := soft[sem]; !ok {
@@ -206,6 +225,7 @@ func (h *hardening) enterDegraded(d *Driver) {
 	}
 	h.degraded.Store(true)
 	h.degradedEnters.Inc()
+	h.degradedSince.Store(h.opts.Clock.Now())
 	h.backoff = 1
 	h.untilReset = 1
 	// The watchdog tripping is exactly the moment a postmortem is for: the
@@ -219,6 +239,7 @@ func (h *hardening) enterDegraded(d *Driver) {
 // while the host backs off) and attempts a reset when the backoff expires.
 func (h *hardening) tickRecovery(d *Driver) {
 	d.dev.TickClock()
+	h.degradedOps.Inc()
 	if h.untilReset--; h.untilReset > 0 {
 		return
 	}
@@ -253,6 +274,7 @@ func (h *hardening) tickRecovery(d *Driver) {
 	}
 	// Atomic restore: from the next Rx on, packets go back to hardware.
 	h.degraded.Store(false)
+	h.degradedNs.Add(h.opts.Clock.Now() - h.degradedSince.Load())
 	h.faultStreak = 0
 	h.backoff = 1
 	h.restores.Inc()
@@ -307,6 +329,13 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 		}
 		rec := d.dev.CmptRing.Peek()
 		if rec == nil {
+			if h.opts.DisableResync {
+				// The deliberately re-opened pre-resync bug: the packet's
+				// record never arrived and nothing re-delivers it — it stays
+				// pending forever (the liveness violation the chaos oracles
+				// must catch).
+				break
+			}
 			// Lost completion: the device accepted the packet but its record
 			// never arrived. Resynchronize by delivering in software.
 			h.resyncDrops.Inc()
@@ -345,7 +374,7 @@ func (h *hardening) poll(d *Driver, fn func(packet []byte, meta Meta)) int {
 			d.dev.CmptRing.Pop()
 			continue
 		}
-		if skip := h.resyncMatch(d, rec); skip > 0 {
+		if skip := h.resyncMatch(d, rec); skip > 0 && !h.opts.DisableResync {
 			// The record belongs to a packet further down the queue: the
 			// completions of the packets ahead of it were lost. Deliver those
 			// in software and retry with the matching packet at the head.
@@ -440,6 +469,12 @@ type HardeningStats struct {
 	// often the fault streak tripped degraded mode.
 	DeviceFaults   uint64
 	DegradedEnters uint64
+	// DegradedOps counts driver operations spent in degraded mode, and
+	// DegradedResidencyNs the cumulative time (on the injected clock) —
+	// including the currently open residency, so a chaos oracle can bound
+	// degraded-mode dwell while the driver is still degraded.
+	DegradedOps         uint64
+	DegradedResidencyNs uint64
 	// ResetAttempts / Resets / ConfigRetries / HardwareRestores trace the
 	// watchdog's recovery ladder.
 	ResetAttempts    uint64
@@ -457,6 +492,8 @@ func (d *Driver) Hardening() HardeningStats {
 	}
 	st := HardeningStats{
 		Degraded:            h.degraded.Load(),
+		DegradedOps:         h.degradedOps.Load(),
+		DegradedResidencyNs: h.degradedNs.Load(),
 		Quarantined:         h.quarantined.Load(),
 		RejectsByClass:      make(map[string]uint64),
 		StaleDrops:          h.staleDrops.Load(),
@@ -469,6 +506,10 @@ func (d *Driver) Hardening() HardeningStats {
 		Resets:              h.resets.Load(),
 		ConfigRetries:       h.configRetries.Load(),
 		HardwareRestores:    h.restores.Load(),
+	}
+	if st.Degraded {
+		// Fold the open residency in so the snapshot reflects dwell-so-far.
+		st.DegradedResidencyNs += h.opts.Clock.Now() - h.degradedSince.Load()
 	}
 	for k := codegen.ViolationShort; k <= codegen.ViolationValue; k++ {
 		if n := h.rejects[k].Load(); n > 0 {
@@ -487,6 +528,7 @@ func (h *hardening) registerMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.AttachCounter("opendesc_driver_soft_delivered_total", "packets served from the SoftNIC runtime", &h.softDelivered, labels...)
 	reg.AttachCounter("opendesc_driver_device_faults_total", "non-backpressure device refusals", &h.deviceFaults, labels...)
 	reg.AttachCounter("opendesc_driver_degraded_enters_total", "transitions into SoftNIC degraded mode", &h.degradedEnters, labels...)
+	reg.AttachCounter("opendesc_driver_degraded_ops_total", "driver operations spent in SoftNIC degraded mode", &h.degradedOps, labels...)
 	reg.AttachCounter("opendesc_driver_reset_attempts_total", "watchdog reset attempts", &h.resetAttempts, labels...)
 	reg.AttachCounter("opendesc_driver_resets_total", "watchdog resets that took effect", &h.resets, labels...)
 	reg.AttachCounter("opendesc_driver_config_retries_total", "re-ApplyConfig attempts that failed after reset", &h.configRetries, labels...)

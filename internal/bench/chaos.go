@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"opendesc/internal/chaos"
+)
+
+// E18Chaos is the deterministic chaos-simulation sweep (DESIGN.md §S23): a
+// seed corpus per scenario over the full NIC matrix in both driver modes,
+// with every invariant oracle armed. The acceptance criterion is absolute —
+// zero violations over the whole corpus — plus a canary: with the resync
+// path deliberately disabled, the oracles must catch the re-opened liveness
+// bug and the shrinker must reduce the failure to a handful of events.
+func E18Chaos(cases int) (*Table, error) {
+	if cases <= 0 {
+		cases = 10_000
+	}
+
+	type scenario struct {
+		name string
+		cfg  chaos.Config
+	}
+	var scenarios []scenario
+	for _, nic := range []string{"e1000", "e1000e", "ice", "ixgbe", "mlx5", "qdma"} {
+		scenarios = append(scenarios,
+			scenario{nic + "/harden", chaos.Config{NIC: nic, Mode: chaos.ModeHarden, Steps: 128}},
+			scenario{nic + "/evolve", chaos.Config{NIC: nic, Mode: chaos.ModeEvolve, Steps: 128}},
+		)
+	}
+	// Multi-queue interleavings on one NIC per mode (the scheduler shuffles
+	// events across queues, so cross-queue isolation is under test too).
+	scenarios = append(scenarios,
+		scenario{"e1000e/harden q4", chaos.Config{NIC: "e1000e", Mode: chaos.ModeHarden, Steps: 192, Queues: 4}},
+		scenario{"ice/evolve q2", chaos.Config{NIC: "ice", Mode: chaos.ModeEvolve, Steps: 192, Queues: 2}},
+	)
+
+	per := cases / len(scenarios)
+	if per < 1 {
+		per = 1
+	}
+
+	tab := &Table{
+		ID:     "E18",
+		Title:  fmt.Sprintf("deterministic chaos: %d seeded cases across %d scenarios, all oracles armed", per*len(scenarios), len(scenarios)),
+		Header: []string{"scenario", "cases", "events", "accepted", "delivered", "switchovers", "restores", "violations"},
+	}
+
+	total := 0
+	for _, sc := range scenarios {
+		var events, accepted, delivered, switchovers, restores uint64
+		violations := 0
+		for seed := uint64(1); seed <= uint64(per); seed++ {
+			res := chaos.Run(sc.cfg, seed)
+			events += uint64(res.Events)
+			accepted += res.Accepted
+			delivered += res.Delivered
+			switchovers += res.Switchovers
+			restores += res.Restores
+			if res.Violation != nil {
+				violations++
+				if violations == 1 {
+					// Surface the first failing case precisely: (seed, config)
+					// is the complete reproducer.
+					return nil, fmt.Errorf("e18 %s seed=%d: %v", sc.name, seed, res.Violation)
+				}
+			}
+		}
+		total += per
+		tab.AddRow(sc.name, per, events, accepted, delivered, switchovers, restores, violations)
+	}
+
+	// Canary: re-open the known pre-resync liveness bug and prove the
+	// pipeline catches and shrinks it.
+	canary := chaos.Config{Mode: chaos.ModeHarden, Steps: 256, DisableResync: true}
+	var caught *chaos.Result
+	var seed uint64
+	for s := uint64(1); s <= 256; s++ {
+		if r := chaos.Run(canary, s); r.Violation != nil {
+			caught, seed = r, s
+			break
+		}
+	}
+	if caught == nil {
+		return nil, fmt.Errorf("e18 canary: resync disabled but no oracle fired in 256 seeds")
+	}
+	sh := chaos.ShrinkToSpec(canary, chaos.Generate(canary, seed), caught.Violation)
+	if len(sh.Schedule.Events) > 10 {
+		return nil, fmt.Errorf("e18 canary: shrunk reproducer has %d events, want <= 10", len(sh.Schedule.Events))
+	}
+	tab.AddRow("resync-bug canary", 1, len(sh.Schedule.Events), "-", "-", "-", "-",
+		fmt.Sprintf("1 (%s, shrunk %d->%d events)", caught.Violation.Oracle, canary.Steps, len(sh.Schedule.Events)))
+
+	tab.Note = fmt.Sprintf(
+		"every case is reproducible from (seed, config) alone; %d clean cases, 0 violations\n"+
+			"canary: with the resync path disabled, oracle %q caught the re-opened liveness bug at seed %d\n"+
+			"and ddmin shrank the %d-event schedule to %d events",
+		total, caught.Violation.Oracle, seed, canary.Steps, len(sh.Schedule.Events))
+	return tab, nil
+}

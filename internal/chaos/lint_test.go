@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wallClockFuncs are the time-package calls that read or wait on the real
+// clock. Any of these on a hot path breaks chaos determinism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true, "AfterFunc": true,
+}
+
+// wallClockAllowed lists the package directories that may read the wall
+// clock: measurement and exposition layers (obs, bench, softnic's calibration
+// loop), the clock abstraction itself, and the CLIs. Everything else must go
+// through an injected vclock.Clock.
+var wallClockAllowed = []string{
+	"internal/obs",
+	"internal/bench",
+	"internal/softnic",
+	"internal/vclock",
+	"cmd/",
+}
+
+// TestNoWallClockOnHotPaths is a lint-style guard: it fails if any
+// non-test file outside the allowlist calls time.Now / time.Sleep / etc.
+// directly. Hot-path packages (the driver, evolve, nicsim, faults, ring,
+// chaos itself) must take time from an injected vclock.Clock so a chaos run
+// is a pure function of (seed, config).
+func TestNoWallClockOnHotPaths(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatalf("locating repo root: %v", err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		rel = filepath.ToSlash(rel)
+		for _, prefix := range wallClockAllowed {
+			if strings.HasPrefix(rel, prefix) {
+				return nil
+			}
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		// Only flag files that import the real "time" package (a local
+		// package named time would be somebody else's problem).
+		importsTime := false
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"time"` && imp.Name == nil {
+				importsTime = true
+			}
+		}
+		if !importsTime {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pos := fset.Position(sel.Pos())
+			t.Errorf("%s:%d: direct time.%s on a hot path — take an injected vclock.Clock instead (see internal/vclock)",
+				rel, pos.Line, sel.Sel.Name)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repo: %v", err)
+	}
+}
+
+// repoRoot walks up from the package directory to the directory holding
+// go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import "fmt"
+
+// Shrink delta-debugs a violating schedule down to a minimal reproducer: the
+// smallest event subsequence (under ddmin's 1-minimality) that still fires
+// the SAME oracle. It returns the minimized schedule and the result of its
+// final (violating) run.
+//
+// Matching on the oracle name — rather than "any violation" — keeps the
+// shrinker honest: removing events can surface a *different* failure, and a
+// reproducer that drifts to another oracle is a new bug report, not a
+// smaller version of this one.
+//
+// Each candidate is a full deterministic re-run (RunSchedule), so the result
+// is trustworthy by construction: the returned schedule has actually been
+// executed and actually violates.
+func Shrink(cfg Config, s Schedule, oracle string) (Schedule, *Result) {
+	// Candidate runs don't dump: ddmin executes dozens of violating
+	// schedules, and only the final minimized reproducer deserves an .odfl.
+	candCfg := cfg
+	candCfg.DumpDir = ""
+	reproduces := func(events []Event) *Result {
+		r := RunSchedule(candCfg, Schedule{Seed: s.Seed, Events: events})
+		if r.Violation != nil && r.Violation.Oracle == oracle {
+			return r
+		}
+		return nil
+	}
+
+	events := append([]Event(nil), s.Events...)
+	last := reproduces(events)
+	if last == nil {
+		// The input doesn't reproduce (wrong oracle, or not violating at
+		// all) — nothing to shrink.
+		return s, RunSchedule(cfg, s)
+	}
+
+	// Classic ddmin: partition into n chunks, try each complement, refine
+	// granularity on failure, restart coarse on success.
+	n := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(events); lo += chunk {
+			hi := lo + chunk
+			if hi > len(events) {
+				hi = len(events)
+			}
+			cand := append(append([]Event(nil), events[:lo]...), events[hi:]...)
+			if r := reproduces(cand); r != nil {
+				events, last = cand, r
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break // 1-minimal: no single event can be removed
+			}
+			n = min(n*2, len(events))
+		}
+	}
+	min := Schedule{Seed: s.Seed, Events: events}
+	if cfg.DumpDir != "" {
+		// One final run with dumping enabled so the minimal reproducer — and
+		// only it — leaves an .odfl postmortem behind.
+		last = RunSchedule(cfg, min)
+	}
+	return min, last
+}
+
+// ShrinkResult packages a shrunk reproducer for reporting.
+type ShrinkResult struct {
+	Schedule Schedule
+	Result   *Result
+	Spec     string
+}
+
+// ShrinkToSpec shrinks and renders the replayable reproducer spec.
+func ShrinkToSpec(cfg Config, s Schedule, v *Violation) ShrinkResult {
+	min, res := Shrink(cfg, s, v.Oracle)
+	if res.Violation == nil {
+		// Shouldn't happen (Shrink only returns violating schedules when the
+		// input violates), but keep the spec honest if it does.
+		return ShrinkResult{Schedule: min, Result: res,
+			Spec: fmt.Sprintf("# chaos: shrink lost the %s violation\n%s", v.Oracle, FormatSpec(cfg, min, nil))}
+	}
+	return ShrinkResult{Schedule: min, Result: res, Spec: FormatSpec(cfg, min, res.Violation)}
+}

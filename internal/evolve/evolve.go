@@ -29,7 +29,6 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
@@ -39,6 +38,7 @@ import (
 	"opendesc/internal/obs/flight"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
 )
 
 // Options tune the renegotiation control plane.
@@ -69,6 +69,10 @@ type Options struct {
 	PreSwitch func(next *core.Result) error
 	// Device sizes the simulated device.
 	Device nicsim.Config
+	// Clock is the timeline switchover latencies are measured on (nil selects
+	// the process wall clock). Chaos runs inject a virtual clock here so the
+	// control plane is fully deterministic.
+	Clock vclock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +91,7 @@ func (o Options) withDefaults() Options {
 	if o.MinWindow <= 0 {
 		o.MinWindow = 256
 	}
+	o.Clock = vclock.Or(o.Clock)
 	return o
 }
 
@@ -298,6 +303,15 @@ func (e *Engine) Rx(packet []byte) bool {
 	return true
 }
 
+// PendingCount reports how many accepted packets await delivery — the
+// chaos harness's liveness probe (a packet that stays pending with an empty
+// completion ring and a healthy device is a stuck delivery).
+func (e *Engine) PendingCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending) + len(e.drained)
+}
+
 // Flight returns the engine's flight recorder (never nil).
 func (e *Engine) Flight() *flight.Recorder { return e.fr }
 
@@ -480,7 +494,7 @@ func (e *Engine) Renegotiate() (switched bool, err error) {
 // quiesce step: Rx and Poll serialize on the same mutex, so no packet can
 // enter the device and no completion can be consumed concurrently.
 func (e *Engine) switchover(next *core.Result) error {
-	start := time.Now()
+	start := e.opts.Clock.Now()
 	oldGen := e.gen.Load()
 	old := e.active
 
@@ -591,7 +605,7 @@ func (e *Engine) switchover(next *core.Result) error {
 		e.lastDiff = d
 	}
 	e.switchovers.Inc()
-	e.switchLatency.Observe(uint64(time.Since(start).Nanoseconds()))
+	e.switchLatency.Observe(e.opts.Clock.Now() - start)
 	e.fq.Record(flight.EvSwap, uint32(oldGen+1), uint64(next.Selected.Path.ID), oldGen+1)
 	return nil
 }

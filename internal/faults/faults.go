@@ -105,65 +105,110 @@ func (p Plan) withDefaults() Plan {
 //
 // hang=N@M schedules N hangs with an MTBF of M device operations; burst sets
 // the hang length in operations and bits the per-corruption flip burst.
+// Unknown keys and out-of-range values are rejected with the 1-based item
+// position, so a long machine-generated spec (a shrunk chaos reproducer)
+// pinpoints its own bad entry.
 func ParseSpec(spec string) (Plan, error) {
 	var p Plan
-	for _, item := range strings.Split(spec, ",") {
+	for pos, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
 			continue
 		}
-		k, v, ok := strings.Cut(item, "=")
-		if !ok {
-			return Plan{}, fmt.Errorf("faults: %q is not key=value", item)
-		}
-		prob := func() (float64, error) {
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil || f < 0 || f > 1 {
-				return 0, fmt.Errorf("faults: %s=%q: want a probability in [0,1]", k, v)
-			}
-			return f, nil
-		}
-		var err error
-		switch k {
-		case "corrupt":
-			p.CorruptP, err = prob()
-		case "truncate":
-			p.TruncateP, err = prob()
-		case "replay":
-			p.ReplayP, err = prob()
-		case "duplicate", "dup":
-			p.DuplicateP, err = prob()
-		case "drop":
-			p.DropP, err = prob()
-		case "nak":
-			p.NAKP, err = prob()
-		case "hang":
-			n, m, ok := strings.Cut(v, "@")
-			if !ok {
-				return Plan{}, fmt.Errorf("faults: hang=%q: want count@mtbf", v)
-			}
-			if p.HangCount, err = strconv.Atoi(n); err == nil {
-				p.HangMTBF, err = strconv.Atoi(m)
-			}
-			if err != nil || p.HangCount < 0 || p.HangMTBF <= 0 {
-				return Plan{}, fmt.Errorf("faults: hang=%q: want count@mtbf with mtbf > 0", v)
-			}
-		case "burst":
-			if p.HangBurst, err = strconv.Atoi(v); err != nil || p.HangBurst <= 0 {
-				return Plan{}, fmt.Errorf("faults: burst=%q: want a positive op count", v)
-			}
-		case "bits":
-			if p.BurstBits, err = strconv.Atoi(v); err != nil || p.BurstBits <= 0 {
-				return Plan{}, fmt.Errorf("faults: bits=%q: want a positive bit count", v)
-			}
-		default:
-			return Plan{}, fmt.Errorf("faults: unknown class %q (have corrupt, truncate, replay, duplicate, drop, nak, hang, burst, bits)", k)
-		}
-		if err != nil {
-			return Plan{}, err
+		if err := p.parseItem(item); err != nil {
+			return Plan{}, fmt.Errorf("faults: spec item %d (%q): %w", pos+1, item, err)
 		}
 	}
 	return p, nil
+}
+
+// parseItem folds one key=value spec item into the plan.
+func (p *Plan) parseItem(item string) error {
+	k, v, ok := strings.Cut(item, "=")
+	if !ok {
+		return fmt.Errorf("not key=value")
+	}
+	prob := func() (float64, error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(f >= 0 && f <= 1) { // the negated form also rejects NaN
+			return 0, fmt.Errorf("%s=%q: want a probability in [0,1]", k, v)
+		}
+		return f, nil
+	}
+	var err error
+	switch k {
+	case "corrupt":
+		p.CorruptP, err = prob()
+	case "truncate":
+		p.TruncateP, err = prob()
+	case "replay":
+		p.ReplayP, err = prob()
+	case "duplicate", "dup":
+		p.DuplicateP, err = prob()
+	case "drop":
+		p.DropP, err = prob()
+	case "nak":
+		p.NAKP, err = prob()
+	case "hang":
+		n, m, ok := strings.Cut(v, "@")
+		if !ok {
+			return fmt.Errorf("hang=%q: want count@mtbf", v)
+		}
+		if p.HangCount, err = strconv.Atoi(n); err == nil {
+			p.HangMTBF, err = strconv.Atoi(m)
+		}
+		if err != nil || p.HangCount < 0 || p.HangMTBF <= 0 {
+			return fmt.Errorf("hang=%q: want count@mtbf with mtbf > 0", v)
+		}
+		return nil
+	case "burst":
+		if p.HangBurst, err = strconv.Atoi(v); err != nil || p.HangBurst <= 0 {
+			return fmt.Errorf("burst=%q: want a positive op count", v)
+		}
+		return nil
+	case "bits":
+		if p.BurstBits, err = strconv.Atoi(v); err != nil || p.BurstBits <= 0 {
+			return fmt.Errorf("bits=%q: want a positive bit count", v)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown class %q (have corrupt, truncate, replay, duplicate, drop, nak, hang, burst, bits)", k)
+	}
+	return err
+}
+
+// String renders the plan back into ParseSpec's grammar, so a programmatic
+// plan (e.g. a shrunk chaos reproducer) prints as a valid -faults argument.
+// Fields at their zero/default value are omitted; ParseSpec(p.String())
+// round-trips to an equivalent plan (the seed travels separately, via the
+// -seed flag). A no-fault plan renders as the empty spec.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k string, f float64) {
+		if f > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	}
+	add("corrupt", p.CorruptP)
+	add("truncate", p.TruncateP)
+	add("replay", p.ReplayP)
+	add("duplicate", p.DuplicateP)
+	add("drop", p.DropP)
+	add("nak", p.NAKP)
+	if p.HangCount > 0 {
+		mtbf := p.HangMTBF
+		if mtbf <= 0 {
+			mtbf = 4096 // the withDefaults value, kept explicit in the spec
+		}
+		parts = append(parts, fmt.Sprintf("hang=%d@%d", p.HangCount, mtbf))
+		if p.HangBurst > 0 {
+			parts = append(parts, fmt.Sprintf("burst=%d", p.HangBurst))
+		}
+	}
+	if p.BurstBits > 1 {
+		parts = append(parts, fmt.Sprintf("bits=%d", p.BurstBits))
+	}
+	return strings.Join(parts, ",")
 }
 
 // replayDepth is how many past completions the injector retains as replay
@@ -188,6 +233,12 @@ type Injector struct {
 	// history holds copies of recently serialized completions (replay pool).
 	history [][]byte
 	histPos int
+
+	// forced counts armed one-shot scripted faults per class (ScriptNext):
+	// the deterministic injection mode the chaos scheduler and its shrinker
+	// drive, where each fault is an explicit schedule event instead of a
+	// PRNG draw. Consumed before any probabilistic decision.
+	forced [Hang + 1]int
 
 	injected [Hang + 1]obs.Counter
 	resetNAK obs.Counter
@@ -302,11 +353,59 @@ func (inj *Injector) TryReset() bool {
 	return true
 }
 
+// ScriptNext arms one scripted fault of class c: the next applicable event
+// (completion for the record classes, register-write burst for NAK) injects
+// it deterministically, regardless of the plan's probabilities. Multiple
+// arms of the same class queue up. Hang is not a per-event class — use
+// ScriptHang. A scripted decision consumes no PRNG draws: the event it fires
+// on is skipped entirely, and the probabilistic stream resumes on the next
+// event exactly where it left off.
+func (inj *Injector) ScriptNext(c Class) {
+	if inj == nil || c < Corrupt || c > NAK {
+		return
+	}
+	inj.forced[c]++
+}
+
+// ScriptHang wedges the device immediately for burst operations — the
+// scheduled-hang primitive of the chaos harness. While a hang is already
+// running the burst is extended instead. The wedge clears like a plan hang:
+// the burst must elapse (Tick) and a reset must succeed (TryReset).
+func (inj *Injector) ScriptHang(burst int) {
+	if inj == nil {
+		return
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	if inj.hung {
+		inj.hangLeft += burst
+		return
+	}
+	inj.hung = true
+	inj.hangLeft = burst
+	inj.injected[Hang].Inc()
+	inj.fq.Record(flight.EvHangStart, uint32(inj.hangsDone), uint64(burst), 0)
+}
+
+// takeForced consumes one armed scripted fault of class c.
+func (inj *Injector) takeForced(c Class) bool {
+	if inj.forced[c] > 0 {
+		inj.forced[c]--
+		return true
+	}
+	return false
+}
+
 // NAKConfig reports whether this control-channel register-write burst is
 // NAKed. The burst fails atomically, before any register is written.
 func (inj *Injector) NAKConfig() bool {
 	if inj == nil {
 		return false
+	}
+	if inj.takeForced(NAK) {
+		inj.injected[NAK].Inc()
+		return true
 	}
 	if inj.hit(inj.plan.NAKP) {
 		inj.injected[NAK].Inc()
@@ -325,22 +424,24 @@ func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
 		return rec, nil
 	}
 	switch {
-	case inj.hit(inj.plan.DropP):
+	case inj.takeForced(Drop) || inj.hit(inj.plan.DropP):
 		inj.injected[Drop].Inc()
 		inj.noteFault(Drop)
 		return nil, nil
-	case inj.hit(inj.plan.ReplayP):
+	case inj.takeForced(Replay) || inj.hit(inj.plan.ReplayP):
+		// A scripted replay with an empty history fizzles silently: there is
+		// no stale record a device could re-deliver yet.
 		if stale := inj.stale(rec); stale != nil {
 			inj.injected[Replay].Inc()
 			inj.noteFault(Replay)
 			return stale, nil
 		}
-	case inj.hit(inj.plan.DuplicateP):
+	case inj.takeForced(Duplicate) || inj.hit(inj.plan.DuplicateP):
 		inj.injected[Duplicate].Inc()
 		inj.noteFault(Duplicate)
 		inj.remember(rec)
 		return rec, rec
-	case inj.hit(inj.plan.TruncateP):
+	case inj.takeForced(Truncate) || inj.hit(inj.plan.TruncateP):
 		// A torn DMA: keep a strict prefix, zero the tail. Only counted when
 		// the mutation is visible (a truncated all-zero tail is a no-op).
 		cut := int(inj.next() % uint64(len(rec)))
@@ -356,7 +457,7 @@ func (inj *Injector) Completion(rec []byte) (out, extra []byte) {
 			inj.noteFault(Truncate)
 			return rec, nil
 		}
-	case inj.hit(inj.plan.CorruptP):
+	case inj.takeForced(Corrupt) || inj.hit(inj.plan.CorruptP):
 		flips := 1
 		if inj.plan.BurstBits > 1 {
 			flips += int(inj.next() % uint64(inj.plan.BurstBits))

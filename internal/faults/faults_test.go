@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -164,5 +165,201 @@ func TestNilInjectorIsInert(t *testing.T) {
 	}
 	if inj.Stats().Total() != 0 {
 		t.Fatal("nil injector reported injections")
+	}
+}
+
+// TestParseSpecPositionalErrors pins the hardened error messages: every
+// rejection names the 1-based item position and the offending item text.
+func TestParseSpecPositionalErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring the error must carry
+	}{
+		{"corrupt=1e-3,bogus=1", `spec item 2 ("bogus=1")`},
+		{"corrupt=1e-3,truncate=2", `spec item 2 ("truncate=2")`},
+		{"nak", `spec item 1 ("nak")`},
+		{"drop=0.1,nak=-0.5", `spec item 2 ("nak=-0.5")`},
+		{"drop=0.1,,hang=1@0", `spec item 3 ("hang=1@0")`},
+		{"bits=0", `spec item 1 ("bits=0")`},
+		{"burst=x", `spec item 1 ("burst=x")`},
+		{"drop=nan", `spec item 1 ("drop=nan")`},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): want error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) error %q does not carry %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestPlanStringRoundTrip: ParseSpec(p.String()) must reproduce the plan
+// (modulo withDefaults normalization and the seed, which travels separately).
+func TestPlanStringRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{},
+		{CorruptP: 1e-3, BurstBits: 4},
+		{TruncateP: 0.25, ReplayP: 1e-4, DuplicateP: 0.5, DropP: 1},
+		{NAKP: 0.125},
+		{HangCount: 2, HangMTBF: 5000, HangBurst: 64},
+		{HangCount: 1, HangMTBF: 1}, // burst left to defaults
+		{CorruptP: 0.1, DropP: 1e-6, HangCount: 3, HangMTBF: 777, HangBurst: 9, BurstBits: 2},
+	}
+	for _, p := range plans {
+		spec := p.String()
+		got, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("String() produced an unparsable spec %q: %v", spec, err)
+			continue
+		}
+		if got.withDefaults() != p.withDefaults() {
+			t.Errorf("round trip of %+v via %q = %+v", p.withDefaults(), spec, got.withDefaults())
+		}
+	}
+	if (Plan{}).String() != "" {
+		t.Errorf("null plan renders %q, want empty", (Plan{}).String())
+	}
+}
+
+// TestScriptedFaults covers the deterministic one-shot injection mode the
+// chaos scheduler drives: each armed class fires exactly once on the next
+// applicable event, without consuming plan PRNG draws.
+func TestScriptedFaults(t *testing.T) {
+	rec := func() []byte { return []byte{1, 2, 3, 4, 5, 6, 7, 8} }
+
+	inj := New(Plan{Seed: 11})
+	inj.ScriptNext(Drop)
+	if out, _ := inj.Completion(rec()); out != nil {
+		t.Fatal("scripted drop did not drop")
+	}
+	if out, _ := inj.Completion(rec()); out == nil {
+		t.Fatal("scripted drop fired twice")
+	}
+	if inj.Stats().Injected[Drop] != 1 {
+		t.Fatal("scripted drop not counted")
+	}
+
+	inj = New(Plan{Seed: 11})
+	inj.ScriptNext(Corrupt)
+	out, _ := inj.Completion(rec())
+	if bytesEqual(out, rec()) {
+		t.Fatal("scripted corrupt left the record clean")
+	}
+
+	inj = New(Plan{Seed: 11})
+	inj.ScriptNext(NAK)
+	if !inj.NAKConfig() {
+		t.Fatal("scripted NAK did not fire")
+	}
+	if inj.NAKConfig() {
+		t.Fatal("scripted NAK fired twice")
+	}
+
+	// Queued arms of one class fire once each.
+	inj = New(Plan{Seed: 11})
+	inj.ScriptNext(Drop)
+	inj.ScriptNext(Drop)
+	drops := 0
+	for i := 0; i < 3; i++ {
+		if out, _ := inj.Completion(rec()); out == nil {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("queued scripted drops fired %d times, want 2", drops)
+	}
+
+	// Scripted replay with empty history fizzles; with history it replays.
+	inj = New(Plan{Seed: 11})
+	inj.ScriptNext(Replay)
+	first := rec()
+	if out, _ := inj.Completion(first); !bytesEqual(out, first) {
+		t.Fatal("scripted replay with no history should pass through")
+	}
+	inj.ScriptNext(Replay)
+	second := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	if out, _ := inj.Completion(second); !bytesEqual(out, first) {
+		t.Fatalf("scripted replay returned %v, want the stale %v", out, first)
+	}
+
+	// Hang is not a ScriptNext class: arming it is a no-op.
+	inj = New(Plan{Seed: 11})
+	inj.ScriptNext(Hang)
+	if inj.Tick() {
+		t.Fatal("ScriptNext(Hang) must not wedge the device")
+	}
+}
+
+// TestScriptHang: the scheduled-hang primitive wedges immediately, refuses
+// resets for the burst, extends on re-arm, and clears like a plan hang.
+func TestScriptHang(t *testing.T) {
+	inj := New(Plan{Seed: 5})
+	inj.ScriptHang(3)
+	if !inj.Hung() {
+		t.Fatal("ScriptHang did not wedge the device")
+	}
+	if inj.TryReset() {
+		t.Fatal("reset succeeded inside the burst")
+	}
+	for i := 0; i < 3; i++ {
+		inj.Tick()
+	}
+	if !inj.TryReset() {
+		t.Fatal("reset still failing after the burst elapsed")
+	}
+	if inj.Hung() {
+		t.Fatal("device still hung after a successful reset")
+	}
+	if inj.Stats().Injected[Hang] != 1 {
+		t.Fatal("scripted hang not counted")
+	}
+
+	// Re-arming mid-hang extends the burst instead of double-counting.
+	inj = New(Plan{Seed: 5})
+	inj.ScriptHang(2)
+	inj.ScriptHang(2)
+	if inj.Stats().Injected[Hang] != 1 {
+		t.Fatal("extension counted as a second hang")
+	}
+	ticks := 0
+	for inj.Hung() && ticks < 10 {
+		inj.Tick()
+		ticks++
+		if inj.TryReset() {
+			break
+		}
+	}
+	if inj.Hung() || ticks < 4 {
+		t.Fatalf("extended burst cleared after %d ticks, want >= 4", ticks)
+	}
+
+	// A scripted arm consumes zero PRNG draws: after b's forced drop swallows
+	// its first completion, b's second completion must apply exactly the
+	// corruption a virgin same-seed injector applies to its first.
+	clean := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	a := New(Plan{Seed: 42, CorruptP: 1})
+	b := New(Plan{Seed: 42, CorruptP: 1})
+	b.ScriptNext(Drop)
+	outA, _ := a.Completion(append(clean[:0:0], clean...))
+	if out, _ := b.Completion(append(clean[:0:0], clean...)); out != nil {
+		t.Fatal("forced drop did not drop")
+	}
+	outB, _ := b.Completion(append(clean[:0:0], clean...))
+	if !bytesEqual(outA, outB) {
+		t.Fatalf("forced drop consumed PRNG draws: post-arm corrupt %v, virgin corrupt %v", outB, outA)
+	}
+
+	// Same for a fizzling scripted replay (empty history): no draws consumed.
+	c := New(Plan{Seed: 42, CorruptP: 1})
+	c.ScriptNext(Replay)
+	if out, _ := c.Completion(append(clean[:0:0], clean...)); !bytesEqual(out, clean) {
+		t.Fatal("fizzling replay should pass the record through clean")
+	}
+	outC, _ := c.Completion(append(clean[:0:0], clean...))
+	if !bytesEqual(outA, outC) {
+		t.Fatalf("fizzled replay consumed PRNG draws: post-arm corrupt %v, virgin corrupt %v", outC, outA)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"opendesc/internal/ring"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
 )
 
 // Config sizes a simulated device.
@@ -46,6 +47,12 @@ type Config struct {
 	// CryptoCtx is the crypto context id the (simulated) inline-crypto engine
 	// attaches to packets.
 	CryptoCtx uint64
+	// Clock, when non-nil, is the timeline the timestamp semantic reads (each
+	// received packet is stamped Clock.Now()). Nil keeps the device's internal
+	// free-running counter, which advances TimestampStep per packet. Chaos
+	// runs inject the shared virtual clock here so device timestamps sit on
+	// the same deterministic timeline as the rest of the stack.
+	Clock vclock.Clock
 }
 
 // WithDefaults returns the configuration with unset fields defaulted — the
@@ -183,6 +190,10 @@ func New(m *nic.Model, cfg Config) (*Device, error) {
 	}
 	return d, nil
 }
+
+// Config returns the device's (defaulted) configuration — the concrete
+// device state drivers derive their validation constants from.
+func (d *Device) Config() Config { return d.cfg }
 
 // MustNew panics on error.
 func MustNew(m *nic.Model, cfg Config) *Device {
@@ -398,7 +409,11 @@ func (d *Device) RxPacket(packet []byte) bool {
 		d.drops.Inc()
 		return false
 	}
-	d.clock += d.cfg.TimestampStep
+	if d.cfg.Clock != nil {
+		d.clock = d.cfg.Clock.Now()
+	} else {
+		d.clock += d.cfg.TimestampStep
+	}
 
 	vals := d.computeOffloads(packet)
 	for name := range vals {

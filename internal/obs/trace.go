@@ -29,15 +29,21 @@ type spanNote struct {
 	val string
 }
 
+// traceNow is the trace timestamp source. A package variable (not a Trace
+// field) so tests can substitute a deterministic clock and assert exact
+// durations instead of sleeping and hoping — the obs package is allowed to
+// read the wall clock, but its tests must not depend on real time passing.
+var traceNow = time.Now
+
 // NewTrace starts a trace.
 func NewTrace(name string) *Trace {
-	return &Trace{Name: name, t0: time.Now()}
+	return &Trace{Name: name, t0: traceNow()}
 }
 
 // Start opens a span for a stage. Spans may nest textually but are reported
 // flat, in start order.
 func (t *Trace) Start(stage string) *Span {
-	s := &Span{Stage: stage, Start: time.Now()}
+	s := &Span{Stage: stage, Start: traceNow()}
 	t.spans = append(t.spans, s)
 	return s
 }
@@ -52,7 +58,7 @@ func (s *Span) Annotate(key string, val any) *Span {
 // End closes the span. Ending twice is a no-op.
 func (s *Span) End() {
 	if !s.done {
-		s.Dur = time.Since(s.Start)
+		s.Dur = traceNow().Sub(s.Start)
 		s.done = true
 	}
 }
@@ -97,7 +103,7 @@ func fmtDur(d time.Duration) string {
 // Spans still open at report time are closed virtually — they display their
 // elapsed-so-far duration tagged "(open)" rather than a misleading zero.
 func (t *Trace) Report() string {
-	now := time.Now()
+	now := traceNow()
 	durs := make([]time.Duration, len(t.spans))
 	var total time.Duration
 	for i, s := range t.spans {

@@ -40,32 +40,43 @@ func TestFmtDurBoundaries(t *testing.T) {
 	}
 }
 
+// fakeTraceClock substitutes a manually advanced timestamp source for
+// traceNow and returns an advance function plus a restore for cleanup. Trace
+// tests must not sleep: real 2ms naps made this file flaky under load and
+// slow everywhere.
+func fakeTraceClock(t *testing.T) func(time.Duration) {
+	t.Helper()
+	now := time.Unix(1700000000, 0)
+	orig := traceNow
+	traceNow = func() time.Time { return now }
+	t.Cleanup(func() { traceNow = orig })
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
 // TestTraceReportOpenSpan is the regression test for the open-span bug:
 // Report() used to print zero duration and 0.0% share for spans never
 // End()ed; it must now show their elapsed time tagged "(open)".
 func TestTraceReportOpenSpan(t *testing.T) {
+	advance := fakeTraceClock(t)
 	tr := NewTrace("open demo")
 	done := tr.Start("finished")
-	time.Sleep(2 * time.Millisecond)
+	advance(2 * time.Millisecond)
 	done.End()
 	open := tr.Start("unfinished")
-	time.Sleep(2 * time.Millisecond)
+	advance(2 * time.Millisecond)
 
 	rep := tr.Report()
 	if !strings.Contains(rep, "(open)") {
 		t.Fatalf("report does not mark the open span:\n%s", rep)
 	}
-	// The open span slept ~2ms: it must contribute a real duration and a
-	// real share, so the finished span cannot claim ~100%.
+	// On the fake clock both spans took exactly 2ms, so the open span must
+	// report exactly 2.000ms and an exact 50% share.
 	for _, line := range strings.Split(rep, "\n") {
 		if !strings.Contains(line, "unfinished") {
 			continue
 		}
-		if strings.Contains(line, "0ns") || strings.Contains(line, "  0.0%") {
-			t.Errorf("open span still reports zero: %q", line)
-		}
-		if strings.Contains(line, "100.0%") {
-			t.Errorf("open span share implausible: %q", line)
+		if !strings.Contains(line, "2.000ms") || !strings.Contains(line, "50.0%") {
+			t.Errorf("open span line = %q, want exactly 2.000ms at 50.0%%", line)
 		}
 	}
 	if open.Dur != 0 || open.done {

@@ -398,3 +398,116 @@ func TestStatsConsumeBatchAndPop(t *testing.T) {
 		t.Fatalf("stats after drain = %+v", st)
 	}
 }
+
+// TestPushDuringReconfigure interleaves producer traffic with the Reset an
+// evolve switchover issues when it reprograms the ring for a new descriptor
+// layout: entries published before the Reset vanish (their epoch is gone),
+// pushes after the Reset land at slot zero, and the monotonic ethtool
+// counters keep counting across the boundary.
+func TestPushDuringReconfigure(t *testing.T) {
+	r := MustNew(8, 4)
+	for i := 0; i < 3; i++ {
+		if !r.Push([]byte{byte(i)}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if !r.Consume(func([]byte) {}) {
+		t.Fatal("pre-reset consume failed")
+	}
+
+	r.Reset() // the reconfigure: old-epoch entries are gone
+
+	if got := r.Len(); got != 0 {
+		t.Fatalf("occupancy %d after reset, want 0", got)
+	}
+	if r.Peek() != nil {
+		t.Fatal("peek returned an old-epoch entry after reset")
+	}
+	// The next push is the new epoch's first entry and must be the next consume.
+	if !r.Push([]byte{0xAA}) {
+		t.Fatal("post-reset push rejected")
+	}
+	var got byte
+	if !r.Consume(func(e []byte) { got = e[0] }) {
+		t.Fatal("post-reset consume failed")
+	}
+	if got != 0xAA {
+		t.Fatalf("consumed %#x after reset, want the new epoch's 0xAA", got)
+	}
+
+	st := r.Stats()
+	if st.Produced != 4 || st.Consumed != 2 {
+		t.Errorf("counters produced=%d consumed=%d, want monotonic 4/2 across reset", st.Produced, st.Consumed)
+	}
+	if st.Occupancy != 0 {
+		t.Errorf("occupancy %d, want 0", st.Occupancy)
+	}
+}
+
+// TestReconfigureClearsFullBackpressure: a full ring that is reset mid-stream
+// accepts a full capacity of new-epoch pushes again (the switchover drain
+// path relies on this).
+func TestReconfigureClearsFullBackpressure(t *testing.T) {
+	r := MustNew(4, 4)
+	for i := 0; i < r.Capacity(); i++ {
+		if !r.Push([]byte{byte(i)}) {
+			t.Fatalf("fill push %d rejected", i)
+		}
+	}
+	if r.Push([]byte{9}) {
+		t.Fatal("push into a full ring succeeded")
+	}
+	stalls := r.Stats().FullStalls
+
+	r.Reset()
+
+	for i := 0; i < r.Capacity(); i++ {
+		if !r.Push([]byte{byte(0x10 + i)}) {
+			t.Fatalf("new-epoch push %d rejected after reset", i)
+		}
+	}
+	seen := 0
+	for r.Consume(func(e []byte) {
+		if e[0] != byte(0x10+seen) {
+			t.Fatalf("entry %d = %#x, want new-epoch %#x", seen, e[0], 0x10+seen)
+		}
+		seen++
+	}) {
+	}
+	if seen != r.Capacity() {
+		t.Fatalf("drained %d entries, want %d", seen, r.Capacity())
+	}
+	if got := r.Stats().FullStalls; got != stalls {
+		t.Errorf("full stalls moved %d -> %d across reset without a full ring", stalls, got)
+	}
+}
+
+// TestReconfigureWrapAround resets a ring whose indices have already lapped
+// the capacity, then laps it again: slot reuse after the index rebase must
+// not resurface stale bytes.
+func TestReconfigureWrapAround(t *testing.T) {
+	r := MustNew(8, 4)
+	// Lap the ring one and a half times.
+	for i := 0; i < 6; i++ {
+		if !r.Push([]byte{byte(0xE0 + i)}) {
+			t.Fatalf("lap push %d rejected", i)
+		}
+		if !r.Consume(func([]byte) {}) {
+			t.Fatalf("lap consume %d failed", i)
+		}
+	}
+	r.Reset()
+	// Two more laps in the new epoch; every value must read back exactly.
+	for i := 0; i < 2*r.Capacity(); i++ {
+		if !r.Push([]byte{byte(i), byte(i >> 1)}) {
+			t.Fatalf("post-reset push %d rejected", i)
+		}
+		var e0, e1 byte
+		if !r.Consume(func(e []byte) { e0, e1 = e[0], e[1] }) {
+			t.Fatalf("post-reset consume %d failed", i)
+		}
+		if e0 != byte(i) || e1 != byte(i>>1) {
+			t.Fatalf("entry %d read back %#x/%#x, want %#x/%#x", i, e0, e1, byte(i), byte(i>>1))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package vclock is the clock abstraction behind deterministic simulation:
+// every time-dependent decision in the hot path (watchdog backoff stamps,
+// switchover latency and hysteresis windows, simulated device timestamps)
+// reads an injected Clock instead of the wall, so a chaos run can replay the
+// exact same timeline from a seed. Two implementations are provided: Wall
+// (nanoseconds since process start, the production default) and Virtual (a
+// manually advanced counter, the simulation testing clock).
+//
+// The repo-wide rule — enforced by the wall-clock lint test in
+// internal/chaos — is that hot-path packages never call time.Now or
+// time.Sleep directly; they go through a Clock. Measurement-only packages
+// (internal/obs, internal/bench, the CLIs) keep their wall clocks.
+package vclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a monotonic nanosecond timeline. Implementations must make Now
+// safe for concurrent readers; Advance is owned by the timeline's driver
+// (the simulation scheduler, or nobody for a wall clock).
+type Clock interface {
+	// Now returns nanoseconds elapsed on this timeline.
+	Now() uint64
+	// Advance moves the timeline forward by ns. On a wall clock this is a
+	// no-op: real time passes on its own, and deterministic code must never
+	// block waiting for it.
+	Advance(ns uint64)
+}
+
+// wall is the production clock: nanoseconds since an epoch pinned at
+// construction (process start for the shared Wall() instance).
+type wall struct{ epoch time.Time }
+
+func (w *wall) Now() uint64      { return uint64(time.Since(w.epoch)) }
+func (w *wall) Advance(_ uint64) {}
+
+var processWall Clock = &wall{epoch: time.Now()}
+
+// Wall returns the shared wall clock (nanoseconds since process start).
+// Components that are handed a nil Clock default to this.
+func Wall() Clock { return processWall }
+
+// Virtual is a deterministic, manually advanced clock. The zero value starts
+// at time 0. Now is safe from any goroutine; Advance is meant to be called
+// from the single scheduler goroutine that owns the timeline.
+type Virtual struct {
+	ns atomic.Uint64
+}
+
+// NewVirtual returns a virtual clock starting at start nanoseconds.
+func NewVirtual(start uint64) *Virtual {
+	v := &Virtual{}
+	v.ns.Store(start)
+	return v
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() uint64 { return v.ns.Load() }
+
+// Advance moves virtual time forward by ns.
+func (v *Virtual) Advance(ns uint64) { v.ns.Add(ns) }
+
+// Set pins the virtual time to an absolute value (replay bookkeeping).
+func (v *Virtual) Set(ns uint64) { v.ns.Store(ns) }
+
+// Or returns c when non-nil and the shared wall clock otherwise — the
+// one-line default used by every option struct that embeds a Clock.
+func Or(c Clock) Clock {
+	if c == nil {
+		return processWall
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(100)
+	if v.Now() != 100 {
+		t.Fatalf("start = %d, want 100", v.Now())
+	}
+	v.Advance(50)
+	if v.Now() != 150 {
+		t.Fatalf("after advance = %d, want 150", v.Now())
+	}
+	v.Set(7)
+	if v.Now() != 7 {
+		t.Fatalf("after set = %d, want 7", v.Now())
+	}
+}
+
+func TestWallMonotone(t *testing.T) {
+	w := Wall()
+	a := w.Now()
+	w.Advance(1 << 40) // must be a no-op, not a sleep
+	b := w.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %d then %d", a, b)
+	}
+}
+
+func TestOrDefaults(t *testing.T) {
+	if Or(nil) != Wall() {
+		t.Fatal("Or(nil) must return the shared wall clock")
+	}
+	v := NewVirtual(0)
+	if Or(v) != Clock(v) {
+		t.Fatal("Or must pass a non-nil clock through")
+	}
+}
+
+// TestVirtualConcurrentReaders: Now must be race-free against Advance (the
+// stats scraper reads while the scheduler advances).
+func TestVirtualConcurrentReaders(t *testing.T) {
+	v := NewVirtual(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = v.Now()
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		v.Advance(3)
+	}
+	close(stop)
+	wg.Wait()
+	if v.Now() != 3000 {
+		t.Fatalf("virtual time = %d, want 3000", v.Now())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
 )
 
 // Spec configures a trace.
@@ -123,6 +124,62 @@ func MustGenerate(spec Spec) *Trace {
 	}
 	return tr
 }
+
+// Mix is a read-mix: the ordered list of semantics an application reads per
+// delivered packet. The empty mix is valid — deliveries then read nothing
+// (the application consumes only the packet bytes), which is the degenerate
+// feature mix an evolving driver must also survive.
+type Mix []string
+
+// MixSchedule is an ordered list of read-mix phases. A shifting workload
+// walks the phases (the chaos scheduler jumps between them on scripted
+// mix-shift events); a one-phase schedule is a steady mix, and an abrupt
+// 100%-flip is simply two disjoint single-field phases back to back.
+type MixSchedule struct {
+	Phases []Mix
+}
+
+// NewMixSchedule validates every phase's semantics against the default
+// registry (unknown names would silently read nothing and mask bugs) and
+// returns the schedule. At least one phase is required; empty phases are
+// allowed.
+func NewMixSchedule(phases ...Mix) (MixSchedule, error) {
+	if len(phases) == 0 {
+		return MixSchedule{}, fmt.Errorf("workload: mix schedule needs at least one phase")
+	}
+	for pi, ph := range phases {
+		for _, s := range ph {
+			if semantics.Default.Lookup(semantics.Name(s)) == nil {
+				return MixSchedule{}, fmt.Errorf("workload: mix phase %d: unknown semantic %q", pi, s)
+			}
+		}
+	}
+	return MixSchedule{Phases: phases}, nil
+}
+
+// MustMixSchedule panics on an invalid schedule.
+func MustMixSchedule(phases ...Mix) MixSchedule {
+	s, err := NewMixSchedule(phases...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Phase returns phase i, wrapping modulo the phase count so schedule walkers
+// never fall off the end; the zero schedule returns the empty mix.
+func (s MixSchedule) Phase(i int) Mix {
+	if len(s.Phases) == 0 {
+		return nil
+	}
+	if i < 0 {
+		i = -i
+	}
+	return s.Phases[i%len(s.Phases)]
+}
+
+// NumPhases returns the phase count.
+func (s MixSchedule) NumPhases() int { return len(s.Phases) }
 
 // TotalBytes sums the wire lengths.
 func (t *Trace) TotalBytes() int {

@@ -274,6 +274,11 @@ type OpenOptions struct {
 	// validation, device watchdog, SoftNIC degraded mode) on a pinned
 	// driver. Mutually exclusive with Evolve.
 	Harden *HardenOptions
+	// Device sizes and configures the simulated device of a pinned driver
+	// (ring depth, queue id, injected clock). Evolving drivers configure
+	// theirs through EvolveOptions.Device instead. The zero value keeps the
+	// defaults.
+	Device nicsim.Config
 }
 
 // Open compiles the intent for the NIC, programs a simulated device with the
@@ -320,7 +325,7 @@ func OpenWith(nicName string, intent *Intent, opts OpenOptions) (*Driver, error)
 	if err != nil {
 		return nil, err
 	}
-	dev, err := nicsim.New(m, nicsim.Config{})
+	dev, err := nicsim.New(m, opts.Device)
 	if err != nil {
 		return nil, err
 	}
@@ -424,6 +429,17 @@ func (d *Driver) Poll(h func(packet []byte, meta Meta)) int {
 	}
 	d.pending = d.pending[:copy(d.pending, d.pending[n:])]
 	return n
+}
+
+// PendingPackets reports how many accepted packets await delivery. On a
+// healthy driver every pending packet is delivered by the next Poll; the
+// chaos harness uses this as its liveness probe (pending packets with an
+// empty completion ring and a healthy device are stuck forever).
+func (d *Driver) PendingPackets() int {
+	if d.engine != nil {
+		return d.engine.PendingCount()
+	}
+	return len(d.pending)
 }
 
 // Flight returns the driver's flight recorder — the always-on per-queue

@@ -8,6 +8,7 @@ import (
 	"opendesc/internal/faults"
 	"opendesc/internal/pkt"
 	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
 )
 
 // hardPackets builds n mutually distinct packets (varying ports, IP ids and
@@ -278,5 +279,97 @@ func TestHardenEvolvingRejected(t *testing.T) {
 	}
 	if _, err := OpenWith("mlx5", intent, OpenOptions{Evolve: &EvolveOptions{}, Harden: &HardenOptions{}}); err == nil {
 		t.Error("OpenWith(Evolve+Harden) must fail")
+	}
+}
+
+// TestHardenedDisableResyncLeavesPacketStuck pins the behavior of the
+// deliberately re-opened pre-resync liveness bug (HardenOptions.DisableResync,
+// the chaos canary): a lost completion leaves its packet pending forever —
+// Poll never delivers it and never counts a resync.
+func TestHardenedDisableResyncLeavesPacketStuck(t *testing.T) {
+	drv := openHardened(t, HardenOptions{Deep: true, DisableResync: true})
+	drv.InjectFaults(faults.New(faults.Plan{Seed: 3, DropP: 1}))
+	p := hardPackets(1)[0]
+	if !drv.Rx(p) {
+		t.Fatal("rx refused")
+	}
+	for i := 0; i < 100; i++ {
+		if n := drv.Poll(func([]byte, Meta) {}); n != 0 {
+			t.Fatalf("poll %d delivered %d packets with resync disabled and the completion dropped", i, n)
+		}
+	}
+	if got := drv.PendingPackets(); got != 1 {
+		t.Fatalf("pending = %d, want the packet stuck forever", got)
+	}
+	st := drv.Hardening()
+	if st.ResyncDrops != 0 || st.SoftDelivered != 0 {
+		t.Errorf("resync machinery ran despite DisableResync: %+v", st)
+	}
+	// Control: the same scenario with resync enabled delivers in software.
+	ctl := openHardened(t, HardenOptions{Deep: true})
+	ctl.InjectFaults(faults.New(faults.Plan{Seed: 3, DropP: 1}))
+	if !ctl.Rx(p) {
+		t.Fatal("control rx refused")
+	}
+	delivered := 0
+	ctl.Poll(func([]byte, Meta) { delivered++ })
+	if delivered != 1 || ctl.PendingPackets() != 0 {
+		t.Fatalf("control delivered %d (pending %d), want resync to recover the packet", delivered, ctl.PendingPackets())
+	}
+}
+
+// TestHardenedDegradedResidencyVirtualClock pins the degraded-mode residency
+// bookkeeping on an injected virtual clock: DegradedResidencyNs must cover
+// exactly the degraded window — including the still-open residency while the
+// driver is degraded — and DegradedOps must count only in-degraded
+// operations. No wall clock, no sleeps.
+func TestHardenedDegradedResidencyVirtualClock(t *testing.T) {
+	clk := vclock.NewVirtual(1_000)
+	drv := openHardened(t, HardenOptions{Deep: true, DegradeThreshold: 2, Clock: clk})
+	inj := faults.New(faults.Plan{})
+	drv.InjectFaults(inj)
+	packets := hardPackets(64)
+
+	inj.ScriptHang(8)
+	// Drive refusals until the fault streak trips degraded mode.
+	i := 0
+	for !drv.Hardening().Degraded {
+		if i >= len(packets) {
+			t.Fatal("driver never degraded under a scripted hang")
+		}
+		drv.Rx(packets[i])
+		drv.Poll(func([]byte, Meta) {})
+		i++
+	}
+	if drv.Hardening().DegradedResidencyNs != 0 {
+		t.Errorf("residency %d at the instant of entry, want 0", drv.Hardening().DegradedResidencyNs)
+	}
+	clk.Advance(5_000)
+	mid := drv.Hardening()
+	if mid.DegradedResidencyNs != 5_000 {
+		t.Errorf("open residency = %d, want exactly the 5000ns the virtual clock advanced", mid.DegradedResidencyNs)
+	}
+	if mid.DegradedOps == 0 {
+		t.Error("no degraded ops counted while degraded")
+	}
+
+	// Let the watchdog recover (the wedge clears after its burst; each op
+	// ticks recovery), then advance the clock again: residency must freeze.
+	for j := 0; drv.Hardening().Degraded; j++ {
+		if j > 10_000 {
+			t.Fatal("driver never recovered")
+		}
+		clk.Advance(10)
+		drv.Poll(func([]byte, Meta) {})
+	}
+	closed := drv.Hardening().DegradedResidencyNs
+	clk.Advance(50_000)
+	if got := drv.Hardening().DegradedResidencyNs; got != closed {
+		t.Errorf("residency moved %d -> %d after recovery; must freeze once healthy", closed, got)
+	}
+	opsAfter := drv.Hardening().DegradedOps
+	drv.Poll(func([]byte, Meta) {})
+	if got := drv.Hardening().DegradedOps; got != opsAfter {
+		t.Errorf("DegradedOps moved %d -> %d while healthy", opsAfter, got)
 	}
 }
