@@ -1,0 +1,45 @@
+# OpenDesc build and benchmark targets.
+
+GO ?= go
+
+.PHONY: all tier1 build vet test race bench bench-baseline perf-gate alloc-gate clean
+
+all: tier1
+
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every experiment table (slow; see EXPERIMENTS.md).
+bench:
+	$(GO) run ./cmd/descbench
+
+# Re-measure the committed BENCH_*.json baselines in place. Run on a quiet
+# machine, inspect the diff, and commit only deliberate movements.
+bench-baseline:
+	$(GO) run ./cmd/descbench baseline -out .
+
+# The CI perf ratchet, locally: alloc gate, fresh baseline run, compare.
+perf-gate: alloc-gate
+	rm -rf /tmp/opendesc-perf && mkdir -p /tmp/opendesc-perf
+	$(GO) run ./cmd/descbench baseline -out /tmp/opendesc-perf
+	@fail=0; for old in BENCH_*.json; do \
+		echo "== $$old =="; \
+		$(GO) run ./cmd/descbench compare "$$old" "/tmp/opendesc-perf/$$old" || fail=1; \
+	done; exit $$fail
+
+alloc-gate:
+	$(GO) test -run TestDeliverPathAllocGate -v .
+
+clean:
+	rm -rf /tmp/opendesc-perf

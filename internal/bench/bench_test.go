@@ -170,6 +170,7 @@ func TestE4ShapeOpenDescWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkRecord(t, tab, "e4_datapath")
 	if len(tab.Rows) != len(E4Intents) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -251,6 +252,7 @@ func TestE11InterfaceShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkRecord(t, tab, "e11_iface")
 	ns := map[[2]string]float64{}
 	for _, r := range tab.Rows {
 		var f float64
@@ -345,6 +347,7 @@ func TestE16FaultMatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkRecord(t, tab, "e16_faults")
 	if len(tab.Rows) != 7 {
 		t.Fatalf("rows = %d, want 6 per-class + 1 combined:\n%s", len(tab.Rows), tab)
 	}
@@ -368,6 +371,7 @@ func TestE15EvolveShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkRecord(t, tab, "e15_evolve")
 	// Index rows by (phase, driver) → cost and adapt columns.
 	cost := map[string]float64{}
 	adapt := map[string]string{}
@@ -418,8 +422,9 @@ func TestE17FlightShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 6 {
-		t.Fatalf("rows = %d, want 6:\n%s", len(tab.Rows), tab)
+	checkRecord(t, tab, "e17_flight")
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7:\n%s", len(tab.Rows), tab)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.odfl"))
 	if err != nil {

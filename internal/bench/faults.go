@@ -6,6 +6,7 @@ import (
 
 	"opendesc"
 	"opendesc/internal/faults"
+	"opendesc/internal/perf"
 	"opendesc/internal/softnic"
 	"opendesc/internal/workload"
 )
@@ -178,7 +179,14 @@ func E16Faults(packets int) (*Table, error) {
 		ID:     "E16",
 		Title:  "fault matrix: hardened driver under injection (e1000e, rss+vlan+pkt_len)",
 		Header: []string{"fault", "pkts", "injected", "detected", "garbage", "delivered", "restores"},
+		Record: newPerfRecord("e16_faults", "E16",
+			"Fault matrix: hardened driver under injection (e1000e)", packets, 0),
 	}
+	rec := tab.Record
+	// Injection and detection counts are seeded and exactly reproducible
+	// under the pinned packet budget; only the overhead rows are timed.
+	rec.Method.Estimator = "seeded-deterministic-drive"
+	rec.Method.Warmup = false
 
 	classes := []struct {
 		name  string
@@ -214,6 +222,9 @@ func E16Faults(packets int) (*Table, error) {
 		}
 		tab.AddRow(c.name, perClass, injected, detected, run.garbage,
 			fmt.Sprintf("%d/%d", run.delivered, run.accepted), run.hard.HardwareRestores)
+		rec.AddValue("faults/"+c.name+"/injected", "count", float64(injected), perf.Info)
+		rec.AddValue("faults/"+c.name+"/detected", "count", float64(detected), perf.Higher)
+		rec.AddValue("faults/"+c.name+"/garbage", "count", float64(run.garbage), perf.Lower)
 	}
 
 	// Combined acceptance run: corruption at 1e-3 plus two forced hangs over
@@ -269,5 +280,13 @@ func E16Faults(packets int) (*Table, error) {
 		plainNs, structNs, (structNs-plainNs)/plainNs*100,
 		deepNs, (deepNs-plainNs)/plainNs*100,
 		comb.nsPerPkt/clean.nsPerPkt)
+
+	rec.AddValue("combined/garbage", "count", float64(comb.garbage), perf.Lower)
+	rec.AddValue("combined/restores", "count", float64(comb.hard.HardwareRestores), perf.Info)
+	addTiming(rec, "overhead/plain", "ns/pkt", plainNs)
+	addTiming(rec, "overhead/structural", "ns/pkt", structNs)
+	addTiming(rec, "overhead/deep", "ns/pkt", deepNs)
+	rec.AddValue("overhead/structural_pct", "ratio", (structNs-plainNs)/plainNs, perf.Lower)
+	rec.AddValue("goodput/corrupt_vs_clean", "ratio", clean.nsPerPkt/comb.nsPerPkt, perf.Higher)
 	return tab, nil
 }

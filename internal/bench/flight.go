@@ -7,6 +7,7 @@ import (
 	"opendesc"
 	"opendesc/internal/faults"
 	"opendesc/internal/obs/flight"
+	"opendesc/internal/perf"
 	"opendesc/internal/workload"
 )
 
@@ -51,6 +52,59 @@ func e17Time(n int, record bool) (float64, error) {
 	return ns, nil
 }
 
+// e17Allocs measures steady-state heap allocations per packet with the
+// recorder enabled: the full Rx+Poll cycle, an Rx-only baseline (the
+// simulated device legitimately allocates — offload maps, deparser env), and
+// their difference, which is what the host-side poll→validate→read→deliver
+// path allocates and must stay zero. The driver is warmed first so one-time
+// ring and recorder allocations don't count.
+func e17Allocs() (full, deliver float64, err error) {
+	intent, err := opendesc.NewIntent("e17", "rss", "vlan", "pkt_len")
+	if err != nil {
+		return 0, 0, err
+	}
+	drv, err := opendesc.OpenIntent("e1000e", intent, opendesc.CompileOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	drv.Flight().SetEnabled(true)
+	tr, err := workload.Generate(workload.DefaultSpec())
+	if err != nil {
+		return 0, 0, err
+	}
+	var sink uint64
+	h := func(p []byte, meta opendesc.Meta) {
+		v, _ := meta.Get("rss")
+		sink += v
+	}
+	for i := 0; i < 64; i++ {
+		p := tr.Packets[i%len(tr.Packets)]
+		for !drv.Rx(p) {
+			drv.Poll(h)
+		}
+	}
+	for drv.Poll(h) > 0 {
+	}
+	// Rx-only: 200 runs plus warm-up stay well under the 1024-deep ring.
+	rxOnly := perf.Allocs(200, func() {
+		drv.Rx(tr.Packets[0])
+	})
+	for drv.Poll(h) > 0 {
+	}
+	full = perf.Allocs(200, func() {
+		for !drv.Rx(tr.Packets[0]) {
+			drv.Poll(h)
+		}
+		drv.Poll(h)
+	})
+	_ = sink
+	deliver = full - rxOnly
+	if deliver < 0 {
+		deliver = 0
+	}
+	return full, deliver, nil
+}
+
 // E17Flight is the flight-recorder experiment: the recording overhead on the
 // hot path (recorder on vs runtime-disabled, same binary), and a worked
 // postmortem — a hardened driver survives an injected device hang and the
@@ -92,13 +146,30 @@ func E17Flight(packets int, dumpDir string) (*Table, error) {
 		return nil, err
 	}
 
+	fullAllocs, deliverAllocs, err := e17Allocs()
+	if err != nil {
+		return nil, err
+	}
+
 	tab := &Table{
 		ID:     "E17",
 		Title:  "flight recorder: hot-path overhead and hang postmortem (e1000e, rss+vlan+pkt_len)",
 		Header: []string{"measurement", "value"},
+		Record: newPerfRecord("e17_flight", "E17",
+			"Flight recorder: hot-path overhead and hang postmortem (e1000e)", packets, 0),
 	}
+	rec := tab.Record
+	addTiming(rec, "datapath/recorder_on", "ns/pkt", onNs)
+	addTiming(rec, "datapath/recorder_off", "ns/pkt", offNs)
+	rec.AddValue("recorder/overhead_pct", "ratio", (onNs-offNs)/offNs, perf.Info)
+	rec.AddValue("datapath/allocs_per_pkt", "allocs/op", fullAllocs, perf.Lower)
+	rec.AddValue("deliver/allocs_per_pkt", "allocs/op", deliverAllocs, perf.Lower)
+	rec.AddValue("postmortems", "count", float64(run.postmortems), perf.Higher)
+	rec.AddValue("dump/delivers", "count", float64(run.delivers), perf.Info)
+	rec.AddValue("dump/max_deliver_ns", "ns", float64(run.maxDeliverNs), perf.Info)
 	tab.AddRow("datapath, recorder on", fmt.Sprintf("%.0f ns/pkt", onNs))
 	tab.AddRow("datapath, recorder disabled", fmt.Sprintf("%.0f ns/pkt (%+.1f%% when on)", offNs, (onNs-offNs)/offNs*100))
+	tab.AddRow("deliver-path allocs", fmt.Sprintf("%.2f/pkt (device sim total %.2f)", deliverAllocs, fullAllocs))
 	tab.AddRow("hang run delivered", fmt.Sprintf("%d/%d exactly once", run.delivered, run.accepted))
 	tab.AddRow("postmortems captured", fmt.Sprintf("%d (last: %q)", run.postmortems, run.lastReason))
 	tab.AddRow("recovery arc in dump", run.arc)

@@ -8,6 +8,7 @@ import (
 	"opendesc/internal/core"
 	"opendesc/internal/iface"
 	"opendesc/internal/nic"
+	"opendesc/internal/perf"
 	"opendesc/internal/pkt"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
@@ -126,6 +127,12 @@ func E11Interfaces(packets int, minDur time.Duration) (*Table, error) {
 			"(metadata inline); streamed: Enso-style raw byte stream (no descriptors\n" +
 			"— metadata must be recomputed in software).",
 		Header: []string{"app", "model", "desc-B/pkt", "ns/pkt"},
+		Record: newPerfRecord("e11_iface", "E11",
+			"Interface models for a synthesized driver datapath (ns/packet)", packets, minDur),
+	}
+	for _, ifc := range ifaces {
+		t.Record.AddValue("desc_bytes/"+ifc.Name(), "bytes",
+			float64(ifc.PerPacketDescriptorBytes()), perf.Info)
 	}
 	for _, app := range IfaceApps {
 		for _, ifc := range ifaces {
@@ -136,6 +143,7 @@ func E11Interfaces(packets int, minDur time.Duration) (*Table, error) {
 			}
 			_ = sink
 			t.AddRow(app, ifc.Name(), ifc.PerPacketDescriptorBytes(), ns)
+			addTiming(t.Record, "poll/"+app+"/"+ifc.Name(), "ns/pkt", ns)
 		}
 	}
 	return t, nil

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"time"
+
+	"opendesc/internal/perf"
+)
+
+// handicap multiplies every wall-clock metric recorded into perf artifacts.
+// It exists to demonstrate the CI perf ratchet end to end: `descbench
+// baseline -handicap 2` produces artifacts that a compare against the real
+// baselines must reject. It never affects the human-readable tables.
+var handicap = 1.0
+
+// SetHandicap sets the timing handicap factor (ignored unless > 0).
+func SetHandicap(f float64) {
+	if f > 0 {
+		handicap = f
+	}
+}
+
+// newPerfRecord starts a benchmark artifact under the repo's standard
+// methodology: untimed warm-up pass, rounds repeated until minDur of timed
+// work, minimum-of-rounds estimator.
+func newPerfRecord(name, experiment, title string, packets int, minDur time.Duration) *perf.Record {
+	return perf.New(name, experiment, title, perf.Methodology{
+		Estimator:     "min-of-rounds",
+		Warmup:        true,
+		MinDurationNs: minDur.Nanoseconds(),
+		Packets:       packets,
+	})
+}
+
+// addTiming records one wall-clock metric (ns), applying the handicap.
+func addTiming(r *perf.Record, name, unit string, ns float64) {
+	r.AddValue(name, unit, ns*handicap, perf.Lower)
+}
+
+// addTimingDist records a wall-clock metric with its per-round latency
+// distribution exported from an obs histogram snapshot.
+func addTimingDist(r *perf.Record, name, unit string, ns float64, d *perf.Dist) {
+	r.Add(perf.Metric{Name: name, Unit: unit, Value: ns * handicap, Better: perf.Lower, Dist: d})
+}
+
+// BaselineExp is one artifact-emitting experiment run under the pinned
+// baseline parameters, so `descbench baseline` and the CI perf-gate measure
+// exactly what the committed BENCH_*.json files measured. Count metrics are
+// deterministic only under these parameters (Compare flags a packet-count
+// mismatch).
+type BaselineExp struct {
+	ID   string // experiment id, e.g. "e4"
+	Name string // artifact name, e.g. "e4_datapath"
+	Run  func() (*Table, error)
+}
+
+// Baseline parameters: small enough for a CI job, large enough for stable
+// minima (the min-of-rounds estimator converges fast).
+const (
+	baselineMinDur     = 50 * time.Millisecond
+	baselinePackets    = 512
+	baselineE15Packets = 2048
+	baselineE16Packets = 20000
+	baselineE17Packets = 4096
+)
+
+// BaselineExperiments returns the five artifact-emitting experiments at
+// their pinned baseline parameters: the E4 datapath comparison, the E11
+// interface-model microbench, E15 live renegotiation, the E16 fault
+// matrix, and the E17 flight-recorder overhead run.
+func BaselineExperiments() []BaselineExp {
+	return []BaselineExp{
+		{"e4", "e4_datapath", func() (*Table, error) { return E4Datapath(baselinePackets, baselineMinDur) }},
+		{"e11", "e11_iface", func() (*Table, error) { return E11Interfaces(baselinePackets, baselineMinDur) }},
+		{"e15", "e15_evolve", func() (*Table, error) { return E15Evolve(baselineE15Packets) }},
+		{"e16", "e16_faults", func() (*Table, error) { return E16Faults(baselineE16Packets) }},
+		{"e17", "e17_flight", func() (*Table, error) { return E17Flight(baselineE17Packets, "") }},
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"opendesc/internal/perf"
+)
+
+// checkRecord asserts an artifact-emitting experiment produced a valid
+// perf record with the expected artifact name, and that it survives a
+// marshal→load round trip and a self-compare with zero regressions.
+func checkRecord(t *testing.T, tab *Table, name string) {
+	t.Helper()
+	if tab.Record == nil {
+		t.Fatalf("experiment %s emitted no perf record", tab.ID)
+	}
+	if tab.Record.Name != name {
+		t.Errorf("record name = %q, want %q", tab.Record.Name, name)
+	}
+	if err := tab.Record.Validate(); err != nil {
+		t.Errorf("record invalid: %v", err)
+	}
+	dir := t.TempDir()
+	path, err := tab.Record.WriteFile(dir)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := perf.Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep, err := perf.Compare(loaded, tab.Record, perf.DefaultThresholds)
+	if err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("self-compare found regressions:\n%s", rep.Text())
+	}
+}
+
+// TestHandicapScalesArtifactsOnly: the handicap must inflate recorded timing
+// metrics (the gate-demonstration path) without touching count metrics.
+func TestHandicapScalesArtifactsOnly(t *testing.T) {
+	rec := newPerfRecord("handicap_probe", "T", "handicap probe", 16, 0)
+	SetHandicap(2)
+	defer SetHandicap(1)
+	addTiming(rec, "t", "ns/pkt", 100)
+	rec.AddValue("c", "count", 7, perf.Info)
+	if m := rec.Lookup("t"); m == nil || m.Value != 200 {
+		t.Errorf("timing metric = %+v, want value 200", m)
+	}
+	if m := rec.Lookup("c"); m == nil || m.Value != 7 {
+		t.Errorf("count metric = %+v, want value 7", m)
+	}
+}

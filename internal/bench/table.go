@@ -1,30 +1,43 @@
 // Package bench implements the OpenDesc experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E10), each regenerating the
+// experiment in DESIGN.md's index (E1–E18), each regenerating the
 // corresponding table or series as formatted text. cmd/descbench and the
 // repository-level benchmarks are thin wrappers around these functions.
 package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
+
+	"opendesc/internal/perf"
 )
 
-// Table is a formatted experiment result.
+// Table is a formatted experiment result. Record, when non-nil, is the
+// experiment's machine-readable perf artifact (serialized by descbench to
+// BENCH_<name>.json); the table is the human view of the same run.
 type Table struct {
 	ID     string
 	Title  string
 	Note   string
 	Header []string
 	Rows   [][]string
+
+	Record *perf.Record
 }
 
-// AddRow appends a row; values are stringified with %v.
+// AddRow appends a row; values are stringified with %v. Large-magnitude
+// floats switch to %.4g so a runaway value widens its column readably
+// instead of printing dozens of digits.
 func (t *Table) AddRow(vals ...any) {
 	row := make([]string, len(vals))
 	for i, v := range vals {
 		switch x := v.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.1f", x)
+			if math.Abs(x) >= 1e15 || math.IsInf(x, 0) || math.IsNaN(x) {
+				row[i] = fmt.Sprintf("%.4g", x)
+			} else {
+				row[i] = fmt.Sprintf("%.1f", x)
+			}
 		default:
 			row[i] = fmt.Sprintf("%v", v)
 		}
@@ -32,7 +45,40 @@ func (t *Table) AddRow(vals ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// String renders the table with aligned columns.
+// columns is the table's true column count: the widest of the header and
+// every row, so a row with more cells than the header widens the table
+// instead of panicking or silently truncating.
+func (t *Table) columns() int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// widths computes per-column display widths over header and all rows.
+func (t *Table) widths() []int {
+	w := make([]int, t.columns())
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	return w
+}
+
+// String renders the table with aligned columns. Column widths adapt to the
+// widest cell (header or row) so no value is ever clipped, and ragged rows
+// — shorter or longer than the header — render with empty padding cells
+// rather than disagreeing between output formats.
 func (t *Table) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
@@ -41,32 +87,62 @@ func (t *Table) String() string {
 			fmt.Fprintf(&sb, "   %s\n", line)
 		}
 	}
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
+	widths := t.widths()
 	writeRow := func(cells []string) {
-		for i, c := range cells {
+		for i := 0; i < len(widths); i++ {
 			if i > 0 {
 				sb.WriteString("  ")
+			}
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
 			}
 			fmt.Fprintf(&sb, "%-*s", widths[i], c)
 		}
 		sb.WriteString("\n")
 	}
 	writeRow(t.Header)
-	sep := make([]string, len(t.Header))
+	sep := make([]string, len(widths))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the same cells as a GitHub-flavored markdown table.
+// It shares cell content with String (only the frame differs), so the two
+// renderings cannot disagree; TestTableRendersAgree enforces this.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s: %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(&sb, "> %s\n", line)
+		}
+		sb.WriteString("\n")
+	}
+	cols := t.columns()
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = strings.ReplaceAll(cells[i], "|", `\|`)
+			}
+			sb.WriteString(" " + c + " |")
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sb.WriteString("|")
+	for i := 0; i < cols; i++ {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("\n")
 	for _, r := range t.Rows {
 		writeRow(r)
 	}

@@ -107,3 +107,37 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Sum = h.sum.Load()
 	return s
 }
+
+// Mean returns the arithmetic mean of the snapshot (0 when empty, never
+// NaN).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// (0 ≤ q ≤ 1) of the frozen snapshot — the same estimate Histogram.Quantile
+// gives, but computed over an immutable copy so exported perf records are
+// internally consistent. Returns 0 for an empty snapshot (not NaN).
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}

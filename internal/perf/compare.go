@@ -1,0 +1,302 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Thresholds configures the regression gate per metric class.
+type Thresholds struct {
+	// TimingPct is the allowed fractional worsening for wall-clock units
+	// (ns/op, ns/pkt, …). The CI default is 0.10: >10% slower fails.
+	TimingPct float64
+	// RatioPct is the allowed fractional worsening for derived ratios
+	// (speedups). Defaults to TimingPct when zero — ratios of timings
+	// carry the same noise.
+	RatioPct float64
+	// Exact units (allocs/op, B/op, count, bytes) always gate at zero
+	// tolerance: they are deterministic under a fixed methodology, so any
+	// worsening is a real regression.
+}
+
+// DefaultThresholds is the CI perf-gate policy: >10% timing regression or
+// any exact-metric regression fails.
+var DefaultThresholds = Thresholds{TimingPct: 0.10}
+
+// Verdicts of one metric comparison.
+const (
+	VerdictOK        = "ok"
+	VerdictImproved  = "improved"
+	VerdictRegressed = "REGRESSED"
+	VerdictNew       = "new"     // metric absent from the old record
+	VerdictMissing   = "MISSING" // metric vanished from the new record
+	VerdictInfo      = "info"    // contextual metric, never gated
+)
+
+// Delta is one metric's old→new comparison.
+type Delta struct {
+	Metric  string
+	Unit    string
+	Better  string
+	Old     float64
+	New     float64
+	HasOld  bool
+	HasNew  bool
+	Pct     float64 // signed fractional change new vs old; NaN when old == 0
+	Verdict string
+}
+
+// change renders the percentage column ("+12.3%", "n/a" on a zero base).
+func (d *Delta) change() string {
+	if !d.HasOld || !d.HasNew {
+		return "n/a"
+	}
+	if math.IsNaN(d.Pct) {
+		if d.New == d.Old {
+			return "+0.0%"
+		}
+		return "n/a" // zero baseline: percentage undefined
+	}
+	return fmt.Sprintf("%+.1f%%", d.Pct*100)
+}
+
+// Report is a full record-vs-record comparison.
+type Report struct {
+	Name        string // artifact name (old and new agree after Compare)
+	OldCommit   string
+	NewCommit   string
+	MethodNotes []string // methodology mismatches (compared anyway, flagged)
+	Deltas      []Delta
+	Regressions int
+}
+
+// Compare matches the two records' metrics by name and gates each delta
+// under the thresholds. The records must be the same artifact (name) and
+// schema version; methodology differences are reported in MethodNotes but
+// do not abort the comparison.
+func Compare(old, new_ *Record, th Thresholds) (*Report, error) {
+	for _, r := range []*Record{old, new_} {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if old.Name != new_.Name {
+		return nil, fmt.Errorf("perf: comparing different artifacts: %q vs %q", old.Name, new_.Name)
+	}
+	if th.TimingPct == 0 {
+		th.TimingPct = DefaultThresholds.TimingPct
+	}
+	if th.RatioPct == 0 {
+		th.RatioPct = th.TimingPct
+	}
+
+	rep := &Report{Name: old.Name, OldCommit: old.Env.Commit, NewCommit: new_.Env.Commit}
+	if old.Method.Packets != new_.Method.Packets {
+		rep.MethodNotes = append(rep.MethodNotes, fmt.Sprintf(
+			"packets differ (old %d, new %d): count metrics are not comparable",
+			old.Method.Packets, new_.Method.Packets))
+	}
+	if old.Method.Estimator != new_.Method.Estimator {
+		rep.MethodNotes = append(rep.MethodNotes, fmt.Sprintf(
+			"estimator differs (old %q, new %q)", old.Method.Estimator, new_.Method.Estimator))
+	}
+
+	oldBy := make(map[string]*Metric, len(old.Metrics))
+	for i := range old.Metrics {
+		oldBy[old.Metrics[i].Name] = &old.Metrics[i]
+	}
+	newSeen := make(map[string]bool, len(new_.Metrics))
+
+	for i := range new_.Metrics {
+		nm := &new_.Metrics[i]
+		newSeen[nm.Name] = true
+		d := Delta{Metric: nm.Name, Unit: nm.Unit, Better: nm.Better, New: nm.Value, HasNew: true}
+		om, ok := oldBy[nm.Name]
+		if !ok {
+			d.Verdict = VerdictNew
+			rep.Deltas = append(rep.Deltas, d)
+			continue
+		}
+		d.Old, d.HasOld = om.Value, true
+		if om.Value != 0 {
+			d.Pct = (nm.Value - om.Value) / math.Abs(om.Value)
+		} else {
+			d.Pct = math.NaN()
+		}
+		d.Verdict = verdict(om, nm, th)
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	// Metrics that vanished are ratchet violations: a gate you can delete
+	// is not a gate.
+	for i := range old.Metrics {
+		om := &old.Metrics[i]
+		if newSeen[om.Name] {
+			continue
+		}
+		v := VerdictMissing
+		if om.Better == Info {
+			v = VerdictInfo
+		}
+		rep.Deltas = append(rep.Deltas, Delta{
+			Metric: om.Name, Unit: om.Unit, Better: om.Better,
+			Old: om.Value, HasOld: true, Pct: math.NaN(), Verdict: v,
+		})
+	}
+	for _, d := range rep.Deltas {
+		if d.Verdict == VerdictRegressed || d.Verdict == VerdictMissing {
+			rep.Regressions++
+		}
+	}
+	return rep, nil
+}
+
+// verdict gates one matched metric pair.
+func verdict(om, nm *Metric, th Thresholds) string {
+	if nm.Better == Info {
+		return VerdictInfo
+	}
+	// worse is the signed worsening: positive when new is worse than old
+	// in the metric's own direction.
+	worse := nm.Value - om.Value
+	if nm.Better == Higher {
+		worse = -worse
+	}
+	switch {
+	case worse <= 0:
+		if worse < 0 {
+			return VerdictImproved
+		}
+		return VerdictOK
+	case exactUnits[nm.Unit]:
+		return VerdictRegressed // deterministic metric: any worsening fails
+	default:
+		pct := th.TimingPct
+		if !timingUnits[nm.Unit] {
+			pct = th.RatioPct
+		}
+		if om.Value == 0 {
+			// Zero baseline on a noisy unit: no percentage exists; any
+			// nonzero worsening is infinite in relative terms, so gate it.
+			return VerdictRegressed
+		}
+		if worse/math.Abs(om.Value) > pct {
+			return VerdictRegressed
+		}
+		return VerdictOK
+	}
+}
+
+// Text renders the delta report as an aligned text table.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== perf compare: %s (old %s → new %s) ==\n",
+		r.Name, orDash(r.OldCommit), orDash(r.NewCommit))
+	for _, n := range r.MethodNotes {
+		fmt.Fprintf(&sb, "   warning: %s\n", n)
+	}
+	tw := newTextTable("metric", "unit", "old", "new", "change", "verdict")
+	for _, d := range r.Deltas {
+		tw.row(d.Metric, d.Unit, fmtOpt(d.Old, d.HasOld), fmtOpt(d.New, d.HasNew), d.change(), d.Verdict)
+	}
+	sb.WriteString(tw.render())
+	fmt.Fprintf(&sb, "%s\n", r.verdictLine())
+	return sb.String()
+}
+
+// Markdown renders the delta report as a GitHub-flavored markdown table
+// (the PR-comment form).
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### perf compare: `%s` (old `%s` → new `%s`)\n\n",
+		r.Name, orDash(r.OldCommit), orDash(r.NewCommit))
+	for _, n := range r.MethodNotes {
+		fmt.Fprintf(&sb, "> **warning:** %s\n\n", n)
+	}
+	sb.WriteString("| metric | unit | old | new | change | verdict |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, d := range r.Deltas {
+		verdict := d.Verdict
+		switch verdict {
+		case VerdictRegressed, VerdictMissing:
+			verdict = "❌ " + verdict
+		case VerdictImproved:
+			verdict = "✅ " + verdict
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			mdEscape(d.Metric), mdEscape(d.Unit),
+			fmtOpt(d.Old, d.HasOld), fmtOpt(d.New, d.HasNew), d.change(), verdict)
+	}
+	fmt.Fprintf(&sb, "\n**%s**\n", r.verdictLine())
+	return sb.String()
+}
+
+// OK reports whether the gate passes.
+func (r *Report) OK() bool { return r.Regressions == 0 }
+
+func (r *Report) verdictLine() string {
+	if r.OK() {
+		return fmt.Sprintf("PASS: %d metrics within thresholds", len(r.Deltas))
+	}
+	return fmt.Sprintf("FAIL: %d of %d metrics regressed", r.Regressions, len(r.Deltas))
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+func fmtOpt(v float64, has bool) string {
+	if !has {
+		return "-"
+	}
+	return fmtValue(v)
+}
+
+func mdEscape(s string) string { return strings.ReplaceAll(s, "|", `\|`) }
+
+// textTable is a minimal aligned-column renderer for the text report.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable { return &textTable{header: header} }
+
+func (t *textTable) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *textTable) render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// pair builds a fixed old/new record pair exercising every verdict class:
+// improvement, within-threshold noise, timing regression, exact (allocs)
+// regression, zero-baseline, info metric, new metric, missing metric.
+func pair() (*Record, *Record) {
+	old := sampleRecord()
+	old.Metrics = nil
+	old.AddValue("datapath/lb/opendesc", "ns/pkt", 20, Lower)  // improves
+	old.AddValue("datapath/lb/skbuff", "ns/pkt", 60, Lower)    // +5% noise, ok
+	old.AddValue("datapath/fw/opendesc", "ns/pkt", 30, Lower)  // +50%: regression
+	old.AddValue("deliver/allocs", "allocs/op", 0, Lower)      // 0 → 1: exact regression
+	old.AddValue("speedup/lb", "ratio", 3.0, Higher)           // drops >10%: regression
+	old.AddValue("capture/full_stalls", "count", 0, Lower)     // stays 0: ok
+	old.AddValue("ring/occupancy_highwater", "count", 7, Info) // info: never gated
+	old.AddValue("flight/postmortems", "count", 1, Lower)      // vanishes: MISSING
+	new_ := sampleRecord()
+	new_.Env.Commit = "def5678"
+	new_.Metrics = nil
+	new_.AddValue("datapath/lb/opendesc", "ns/pkt", 15, Lower)
+	new_.AddValue("datapath/lb/skbuff", "ns/pkt", 63, Lower)
+	new_.AddValue("datapath/fw/opendesc", "ns/pkt", 45, Lower)
+	new_.AddValue("deliver/allocs", "allocs/op", 1, Lower)
+	new_.AddValue("speedup/lb", "ratio", 2.5, Higher)
+	new_.AddValue("capture/full_stalls", "count", 0, Lower)
+	new_.AddValue("ring/occupancy_highwater", "count", 64, Info)
+	new_.AddValue("overhead/recorder", "ns/pkt", 2, Lower) // new metric
+	return old, new_
+}
+
+func verdictOf(t *testing.T, rep *Report, metric string) string {
+	t.Helper()
+	for _, d := range rep.Deltas {
+		if d.Metric == metric {
+			return d.Verdict
+		}
+	}
+	t.Fatalf("metric %q missing from report", metric)
+	return ""
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	old, new_ := pair()
+	rep, err := Compare(old, new_, DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"datapath/lb/opendesc":     VerdictImproved,
+		"datapath/lb/skbuff":       VerdictOK,
+		"datapath/fw/opendesc":     VerdictRegressed,
+		"deliver/allocs":           VerdictRegressed,
+		"speedup/lb":               VerdictRegressed,
+		"capture/full_stalls":      VerdictOK,
+		"ring/occupancy_highwater": VerdictInfo,
+		"flight/postmortems":       VerdictMissing,
+		"overhead/recorder":        VerdictNew,
+	}
+	for m, v := range want {
+		if got := verdictOf(t, rep, m); got != v {
+			t.Errorf("%s: verdict %s, want %s", m, got, v)
+		}
+	}
+	if rep.OK() || rep.Regressions != 4 {
+		t.Errorf("Regressions = %d (OK=%v), want 4 regressions", rep.Regressions, rep.OK())
+	}
+}
+
+// TestCompareZeroBaseline: old value 0 must never divide-by-zero. An exact
+// unit going 0→n fails; returning to 0 passes; a timing metric from a zero
+// baseline is gated without a percentage.
+func TestCompareZeroBaseline(t *testing.T) {
+	old := sampleRecord()
+	old.Metrics = nil
+	old.AddValue("a/allocs", "allocs/op", 0, Lower)
+	old.AddValue("b/ns", "ns/pkt", 0, Lower)
+	old.AddValue("c/ns", "ns/pkt", 0, Lower)
+	new_ := sampleRecord()
+	new_.Metrics = nil
+	new_.AddValue("a/allocs", "allocs/op", 2, Lower)
+	new_.AddValue("b/ns", "ns/pkt", 5, Lower)
+	new_.AddValue("c/ns", "ns/pkt", 0, Lower)
+	rep, err := Compare(old, new_, DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "a/allocs"); v != VerdictRegressed {
+		t.Errorf("exact 0→2 = %s, want regression", v)
+	}
+	if v := verdictOf(t, rep, "b/ns"); v != VerdictRegressed {
+		t.Errorf("timing 0→5 = %s, want regression (infinite relative growth)", v)
+	}
+	if v := verdictOf(t, rep, "c/ns"); v != VerdictOK {
+		t.Errorf("0→0 = %s, want ok", v)
+	}
+	// The rendered report must show "n/a", not Inf or NaN.
+	txt := rep.Text()
+	if strings.Contains(txt, "NaN") || strings.Contains(txt, "Inf") {
+		t.Errorf("report leaks NaN/Inf:\n%s", txt)
+	}
+}
+
+// TestCompareMismatches: different artifacts and different schema versions
+// are clear errors, not panics.
+func TestCompareMismatches(t *testing.T) {
+	old, new_ := pair()
+	new_.Name = "e11_iface"
+	if _, err := Compare(old, new_, DefaultThresholds); err == nil ||
+		!strings.Contains(err.Error(), "different artifacts") {
+		t.Errorf("cross-artifact compare: %v", err)
+	}
+	old2, new2 := pair()
+	old2.Schema = "opendesc-bench/v0"
+	if _, err := Compare(old2, new2, DefaultThresholds); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch: %v", err)
+	}
+}
+
+// TestCompareMethodologyNote: differing packet counts are flagged so count
+// metrics are not trusted blindly.
+func TestCompareMethodologyNote(t *testing.T) {
+	old, new_ := pair()
+	new_.Method.Packets = old.Method.Packets * 2
+	rep, err := Compare(old, new_, DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MethodNotes) == 0 || !strings.Contains(rep.MethodNotes[0], "packets differ") {
+		t.Errorf("MethodNotes = %v, want packets warning", rep.MethodNotes)
+	}
+	if !strings.Contains(rep.Text(), "warning: packets differ") {
+		t.Error("text report omits the methodology warning")
+	}
+}
+
+// TestCompareThresholdKnob: a widened timing threshold admits what the
+// default rejects; exact units stay zero-tolerance regardless.
+func TestCompareThresholdKnob(t *testing.T) {
+	old, new_ := pair()
+	rep, err := Compare(old, new_, Thresholds{TimingPct: 0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "datapath/fw/opendesc"); v != VerdictOK {
+		t.Errorf("+50%% under a 60%% threshold = %s, want ok", v)
+	}
+	if v := verdictOf(t, rep, "deliver/allocs"); v != VerdictRegressed {
+		t.Errorf("alloc regression admitted by a timing threshold: %s", v)
+	}
+}
+
+// TestDeltaReportGolden pins the rendered text and markdown reports.
+func TestDeltaReportGolden(t *testing.T) {
+	old, new_ := pair()
+	rep, err := Compare(old, new_, DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "delta.golden.txt", rep.Text())
+	golden(t, "delta.golden.md", rep.Markdown())
+}

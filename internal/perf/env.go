@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Fingerprint captures the current process environment: the context a
+// future reader needs to judge whether two artifacts are comparable
+// (same machine class, same toolchain) or not.
+func Fingerprint() Env {
+	return Env{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Commit:     gitCommit(),
+	}
+}
+
+// cpuModel best-efforts the CPU model name; empty when unavailable
+// (non-Linux, restricted /proc).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(k) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// gitCommit best-efforts the current commit hash (short), preferring an
+// explicit OPENDESC_COMMIT (set by CI) over invoking git. Empty when
+// neither is available — the fingerprint stays valid, just less precise.
+func gitCommit() string {
+	if c := os.Getenv("OPENDESC_COMMIT"); c != "" {
+		return c
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,316 @@
+// Package perf is the repository's performance observability plane: it
+// turns benchmark runs into schema-versioned, machine-comparable artifacts
+// (`BENCH_<name>.json` at the repo root), compares two artifacts under
+// per-metric regression thresholds (the CI perf ratchet), and captures
+// CPU/heap/mutex pprof profiles around any benchmark run.
+//
+// The paper's core claim is quantitative — compiled per-application
+// descriptor layouts beat static skbuff/mbuf metadata on per-read cost and
+// footprint — so every speedup must leave a versioned trace instead of a
+// one-off table in a PR description. A Record is that trace: metric values
+// with units and direction, p50/p99 latency distributions exported from
+// internal/obs histograms, an environment fingerprint, and the min-of-N
+// methodology that produced the numbers.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"opendesc/internal/obs"
+)
+
+// SchemaVersion identifies the artifact format. Bump the suffix on any
+// incompatible change; Load and Compare refuse records from other versions
+// with a clear error instead of silently mis-reading them.
+const SchemaVersion = "opendesc-bench/v1"
+
+// Metric direction: whether a larger value is a regression or an
+// improvement, or neither (contextual information, never gated).
+const (
+	Lower  = "lower"  // smaller is better (latencies, allocations)
+	Higher = "higher" // larger is better (speedup ratios, coverage)
+	Info   = "info"   // context only — Compare reports but never gates it
+)
+
+// Units with exact (zero-tolerance) regression gating. These are
+// deterministic given the methodology — allocations per operation, byte
+// footprints, event counts — so any increase is a real regression, not
+// timer noise.
+var exactUnits = map[string]bool{
+	"allocs/op": true,
+	"B/op":      true,
+	"count":     true,
+	"bytes":     true,
+}
+
+// Units measured by the wall clock (gated with a percentage threshold).
+var timingUnits = map[string]bool{
+	"ns/op":  true,
+	"ns/pkt": true,
+	"ns":     true,
+	"us/op":  true,
+	"us":     true,
+}
+
+// Dist is a latency (or size) distribution exported from an
+// internal/obs log2 histogram snapshot. Quantiles are bucket upper bounds,
+// i.e. within one log2 bucket of the true value.
+type Dist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// DistFromSnapshot exports an obs histogram snapshot into a Dist.
+func DistFromSnapshot(s obs.HistogramSnapshot) *Dist {
+	return &Dist{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// Metric is one measured series in a record.
+type Metric struct {
+	// Name is the metric's stable identity within the record, e.g.
+	// "datapath/vlan-app/opendesc". Compare matches old and new metrics
+	// by this name.
+	Name string `json:"name"`
+	// Unit: "ns/pkt", "allocs/op", "B/op", "count", "ratio", ...
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Better is one of Lower, Higher, Info.
+	Better string `json:"better"`
+	// Dist optionally carries the full per-round or per-stage latency
+	// distribution behind Value.
+	Dist *Dist `json:"dist,omitempty"`
+}
+
+// Env is the environment fingerprint of a benchmark run: enough to judge
+// whether two artifacts are comparable at all.
+type Env struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Methodology records how the numbers were produced, so a comparison
+// against a baseline measured differently is flagged instead of trusted.
+type Methodology struct {
+	// Estimator names the aggregation across timed rounds; the repo
+	// standard is "min-of-rounds" (the minimum is robust to scheduler
+	// noise from concurrent work).
+	Estimator string `json:"estimator"`
+	// Warmup reports whether an untimed warm-up pass precedes measurement.
+	Warmup bool `json:"warmup"`
+	// MinDurationNs is the per-measurement floor: rounds repeat until the
+	// timed region has run at least this long in total.
+	MinDurationNs int64 `json:"min_duration_ns,omitempty"`
+	// Packets is the trace length (deterministic count metrics depend on
+	// it, so Compare checks it matches).
+	Packets int `json:"packets,omitempty"`
+}
+
+// Record is one benchmark artifact — the unit serialized to
+// BENCH_<name>.json.
+type Record struct {
+	Schema     string      `json:"schema"`
+	Name       string      `json:"name"`       // artifact name: "e4_datapath"
+	Experiment string      `json:"experiment"` // DESIGN.md index: "E4"
+	Title      string      `json:"title"`
+	Env        Env         `json:"env"`
+	Method     Methodology `json:"methodology"`
+	Metrics    []Metric    `json:"metrics"`
+}
+
+// nameRE constrains artifact names to safe file-name material.
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_]*$`)
+
+// New returns a record with the schema version and the current environment
+// fingerprint filled in.
+func New(name, experiment, title string, m Methodology) *Record {
+	return &Record{
+		Schema:     SchemaVersion,
+		Name:       name,
+		Experiment: experiment,
+		Title:      title,
+		Env:        Fingerprint(),
+		Method:     m,
+	}
+}
+
+// Add appends a metric.
+func (r *Record) Add(m Metric) { r.Metrics = append(r.Metrics, m) }
+
+// AddValue appends a plain metric.
+func (r *Record) AddValue(name, unit string, value float64, better string) {
+	r.Add(Metric{Name: name, Unit: unit, Value: value, Better: better})
+}
+
+// Lookup returns the metric with the given name, or nil.
+func (r *Record) Lookup(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the record against the v1 schema invariants.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("perf: schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if !nameRE.MatchString(r.Name) {
+		return fmt.Errorf("perf: invalid artifact name %q (want %s)", r.Name, nameRE)
+	}
+	if r.Experiment == "" || r.Title == "" {
+		return fmt.Errorf("perf: %s: experiment and title are required", r.Name)
+	}
+	if r.Env.GOMAXPROCS <= 0 || r.Env.NumCPU <= 0 || r.Env.GoVersion == "" {
+		return fmt.Errorf("perf: %s: incomplete environment fingerprint %+v", r.Name, r.Env)
+	}
+	if r.Method.Estimator == "" {
+		return fmt.Errorf("perf: %s: methodology estimator is required", r.Name)
+	}
+	if len(r.Metrics) == 0 {
+		return fmt.Errorf("perf: %s: record has no metrics", r.Name)
+	}
+	seen := make(map[string]bool, len(r.Metrics))
+	for _, m := range r.Metrics {
+		if m.Name == "" || m.Unit == "" {
+			return fmt.Errorf("perf: %s: metric with empty name or unit: %+v", r.Name, m)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("perf: %s: duplicate metric %q", r.Name, m.Name)
+		}
+		seen[m.Name] = true
+		switch m.Better {
+		case Lower, Higher, Info:
+		default:
+			return fmt.Errorf("perf: %s: metric %q direction %q, want lower|higher|info", r.Name, m.Name, m.Better)
+		}
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("perf: %s: metric %q value is %v", r.Name, m.Name, m.Value)
+		}
+	}
+	return nil
+}
+
+// FileName is the canonical artifact file name for a record name.
+func FileName(name string) string { return "BENCH_" + name + ".json" }
+
+// Marshal renders the record as stable, indented JSON with a trailing
+// newline (diff-friendly when committed).
+func (r *Record) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile validates the record and writes BENCH_<name>.json under dir.
+// It returns the written path.
+func (r *Record) WriteFile(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	b, err := r.Marshal()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(r.Name))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and validates one artifact. A record written by a different
+// schema version is rejected with a clear error (never a panic): the
+// version check runs before full validation so the message names the
+// mismatch, not a downstream field error.
+func Load(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("perf: %s: not a benchmark artifact: %w", path, err)
+	}
+	if probe.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema version %q is not %q — regenerate the artifact with this tree's descbench",
+			path, probe.Schema, SchemaVersion)
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// BaselineFiles lists the BENCH_*.json artifacts under dir, sorted.
+func BaselineFiles(dir string) ([]string, error) {
+	glob := filepath.Join(dir, "BENCH_*.json")
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("perf: no artifacts match %s", glob)
+	}
+	return files, nil
+}
+
+// fmtValue renders a metric value compactly: integral values without a
+// fraction, everything else with one decimal (switching to %.4g when the
+// magnitude would overflow a readable column).
+func fmtValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e15:
+		return fmt.Sprintf("%.4g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// Summary renders a short human-readable view of the record (the JSON is
+// the artifact; this is the glanceable form for logs).
+func (r *Record) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s, %s): %d metrics, %s on %d cores\n",
+		FileName(r.Name), r.Experiment, r.Schema, len(r.Metrics), r.Env.GoVersion, r.Env.NumCPU)
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&sb, "  %-48s %12s %s", m.Name, fmtValue(m.Value), m.Unit)
+		if m.Dist != nil {
+			fmt.Fprintf(&sb, "  (p50=%d p99=%d n=%d)", m.Dist.P50, m.Dist.P99, m.Dist.Count)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,284 @@
+package perf
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opendesc/internal/obs"
+)
+
+// -update regenerates the golden files in testdata/ from the current code.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<file>, rewriting it under -update.
+func golden(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// sampleRecord is a fully-populated fixed record (no live fingerprint) so
+// its serialization is byte-stable for the golden test.
+func sampleRecord() *Record {
+	r := &Record{
+		Schema:     SchemaVersion,
+		Name:       "e4_datapath",
+		Experiment: "E4",
+		Title:      "Host datapath cost per stack",
+		Env: Env{
+			GOOS: "linux", GOARCH: "amd64", GoVersion: "go1.24.0",
+			GOMAXPROCS: 8, NumCPU: 8, CPUModel: "Example CPU @ 3.0GHz", Commit: "abc1234",
+		},
+		Method: Methodology{
+			Estimator: "min-of-rounds", Warmup: true,
+			MinDurationNs: 50_000_000, Packets: 512,
+		},
+	}
+	r.AddValue("datapath/lb/skbuff", "ns/pkt", 61.5, Lower)
+	r.Add(Metric{
+		Name: "datapath/lb/opendesc", Unit: "ns/pkt", Value: 18, Better: Lower,
+		Dist: &Dist{Count: 240, Mean: 19.5, P50: 31, P90: 31, P99: 63},
+	})
+	r.AddValue("datapath/lb/opendesc_allocs", "allocs/op", 0, Lower)
+	r.AddValue("speedup/lb", "ratio", 3.4, Higher)
+	r.AddValue("ring/occupancy_highwater", "count", 1, Info)
+	return r
+}
+
+// TestRecordGolden pins the exact v1 serialization: any field rename,
+// reorder, or type change shows up as a golden diff (bump SchemaVersion
+// when intended).
+func TestRecordGolden(t *testing.T) {
+	b, err := sampleRecord().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "record.golden.json", string(b))
+}
+
+// TestSchemaGolden pins the published JSON Schema document.
+func TestSchemaGolden(t *testing.T) {
+	golden(t, "schema.golden.json", SchemaJSON)
+}
+
+// TestRecordMatchesSchema structurally checks that a marshaled record uses
+// only properties the JSON Schema declares (and covers every required
+// one), so the schema document cannot rot while the structs evolve.
+func TestRecordMatchesSchema(t *testing.T) {
+	var schema map[string]any
+	if err := json.Unmarshal([]byte(SchemaJSON), &schema); err != nil {
+		t.Fatalf("SchemaJSON is not valid JSON: %v", err)
+	}
+	b, err := sampleRecord().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	checkObject(t, "$", doc, schema)
+}
+
+// checkObject recursively verifies doc's keys against an object schema
+// node: every key must be declared, every required key present.
+func checkObject(t *testing.T, path string, doc map[string]any, schema map[string]any) {
+	t.Helper()
+	props, _ := schema["properties"].(map[string]any)
+	if props == nil {
+		t.Fatalf("%s: schema node has no properties", path)
+	}
+	for k := range doc {
+		if _, ok := props[k]; !ok {
+			t.Errorf("%s.%s: serialized field not declared in SchemaJSON", path, k)
+		}
+	}
+	if req, _ := schema["required"].([]any); req != nil {
+		for _, r := range req {
+			if _, ok := doc[r.(string)]; !ok {
+				t.Errorf("%s: required field %v missing from sample record", path, r)
+			}
+		}
+	}
+	for k, v := range doc {
+		sub, _ := props[k].(map[string]any)
+		if sub == nil {
+			continue
+		}
+		switch val := v.(type) {
+		case map[string]any:
+			checkObject(t, path+"."+k, val, sub)
+		case []any:
+			items, _ := sub["items"].(map[string]any)
+			if items == nil {
+				continue
+			}
+			for i, e := range val {
+				if obj, ok := e.(map[string]any); ok {
+					checkObject(t, path+"."+k+"[0]", obj, items)
+					_ = i
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Record)
+		want string
+	}{
+		{"wrong schema", func(r *Record) { r.Schema = "opendesc-bench/v0" }, "schema"},
+		{"bad name", func(r *Record) { r.Name = "E4 datapath!" }, "invalid artifact name"},
+		{"no metrics", func(r *Record) { r.Metrics = nil }, "no metrics"},
+		{"dup metric", func(r *Record) { r.Metrics = append(r.Metrics, r.Metrics[0]) }, "duplicate"},
+		{"bad direction", func(r *Record) { r.Metrics[0].Better = "sideways" }, "direction"},
+		{"NaN value", func(r *Record) { r.Metrics[0].Value = math.NaN() }, "NaN"},
+		{"no estimator", func(r *Record) { r.Method.Estimator = "" }, "estimator"},
+		{"no env", func(r *Record) { r.Env.GOMAXPROCS = 0 }, "fingerprint"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := sampleRecord()
+			c.mut(r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+	if err := sampleRecord().Validate(); err != nil {
+		t.Errorf("unmutated sample invalid: %v", err)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleRecord()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_e4_datapath.json" {
+		t.Errorf("file name = %s", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := got.Marshal()
+	rb, _ := r.Marshal()
+	if string(gb) != string(rb) {
+		t.Errorf("round trip drifted:\n%s\nvs\n%s", gb, rb)
+	}
+	files, err := BaselineFiles(dir)
+	if err != nil || len(files) != 1 {
+		t.Errorf("BaselineFiles = %v, %v", files, err)
+	}
+}
+
+// TestLoadSchemaMismatch: a future (or past) schema version must produce a
+// clear, named error — not a panic, not a field-level decode error.
+func TestLoadSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_old.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"opendesc-bench/v0","name":"old"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil || !strings.Contains(err.Error(), `"opendesc-bench/v0"`) ||
+		!strings.Contains(err.Error(), SchemaVersion) {
+		t.Errorf("Load = %v, want schema-version mismatch naming both versions", err)
+	}
+	if err := os.WriteFile(path, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted non-JSON")
+	}
+}
+
+func TestFingerprintPopulated(t *testing.T) {
+	e := Fingerprint()
+	if e.GOMAXPROCS <= 0 || e.NumCPU <= 0 || e.GoVersion == "" || e.GOOS == "" {
+		t.Errorf("incomplete fingerprint: %+v", e)
+	}
+}
+
+// TestDistFromSnapshot: exported quantiles must match the obs snapshot's
+// own estimates exactly.
+func TestDistFromSnapshot(t *testing.T) {
+	h := obs.NewHistogram()
+	for _, v := range []uint64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	d := DistFromSnapshot(snap)
+	if d.Count != 5 || d.P50 != snap.Quantile(0.5) || d.P99 != snap.Quantile(0.99) || d.Mean != snap.Mean() {
+		t.Errorf("Dist %+v disagrees with snapshot", d)
+	}
+	empty := DistFromSnapshot(obs.NewHistogram().Snapshot())
+	if empty.P99 != 0 || empty.Mean != 0 {
+		t.Errorf("empty snapshot exported %+v, want zeros", empty)
+	}
+}
+
+// TestProfileWritesAll: the continuous-profiling harness must leave
+// cpu/heap/mutex profiles behind.
+func TestProfileWritesAll(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfile(filepath.Join(dir, "pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some mutex traffic so the profile is non-degenerate.
+	var x int
+	for i := 0; i < 1000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "mutex.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, "pprof", f))
+		if err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestAllocsHelper(t *testing.T) {
+	var sink []byte
+	n := Allocs(10, func() { sink = make([]byte, 1024) })
+	_ = sink
+	if n < 1 {
+		t.Errorf("Allocs reported %v for an allocating loop", n)
+	}
+	if n := Allocs(10, func() {}); n != 0 {
+		t.Errorf("Allocs reported %v for an empty loop", n)
+	}
+}

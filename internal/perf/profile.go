@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// Profile captures pprof profiles around a benchmark run — the continuous
+// profiling hook behind `descbench -profile dir`. Start begins a CPU
+// profile and arms mutex profiling; Stop writes cpu.pprof, heap.pprof and
+// mutex.pprof under the directory. The zero value is unusable; use
+// StartProfile.
+type Profile struct {
+	Dir string
+
+	cpu          *os.File
+	prevMutexFrc int
+}
+
+// StartProfile creates dir (if needed), starts the CPU profile and arms
+// mutex profiling at a 1-in-5 sampling fraction.
+func StartProfile(dir string) (*Profile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("perf: start cpu profile: %w", err)
+	}
+	return &Profile{Dir: dir, cpu: f, prevMutexFrc: runtime.SetMutexProfileFraction(5)}, nil
+}
+
+// Stop finishes the CPU profile and writes the heap and mutex profiles.
+// It restores the previous mutex profile fraction. Safe to call once.
+func (p *Profile) Stop() error {
+	pprof.StopCPUProfile()
+	err := p.cpu.Close()
+	runtime.SetMutexProfileFraction(p.prevMutexFrc)
+
+	// A GC before the heap profile makes the live-set numbers meaningful.
+	runtime.GC()
+	for _, prof := range []string{"heap", "mutex"} {
+		f, ferr := os.Create(filepath.Join(p.Dir, prof+".pprof"))
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			continue
+		}
+		if werr := pprof.Lookup(prof).WriteTo(f, 0); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Allocs measures steady-state heap allocations per call of fn — the
+// alloc-gate primitive for the poll→validate→read→deliver hot path. It is
+// testing.AllocsPerRun, importable outside _test files so descbench can
+// embed allocs/op in benchmark artifacts.
+func Allocs(runs int, fn func()) float64 {
+	return testing.AllocsPerRun(runs, fn)
+}

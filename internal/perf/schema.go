@@ -1,0 +1,74 @@
+package perf
+
+// SchemaJSON is the machine-readable JSON Schema (draft-07) for the
+// opendesc-bench/v1 artifact format. It is golden-tested against both the
+// committed copy and the actual serialization of a Record, so the three
+// views — Go structs, this schema, and the BENCH_*.json files — cannot
+// drift apart silently. `descbench schema` prints it.
+const SchemaJSON = `{
+  "$schema": "http://json-schema.org/draft-07/schema#",
+  "$id": "https://opendesc.invalid/schemas/opendesc-bench-v1.json",
+  "title": "OpenDesc benchmark artifact (opendesc-bench/v1)",
+  "type": "object",
+  "required": ["schema", "name", "experiment", "title", "env", "methodology", "metrics"],
+  "additionalProperties": false,
+  "properties": {
+    "schema": {"const": "opendesc-bench/v1"},
+    "name": {"type": "string", "pattern": "^[a-z0-9][a-z0-9_]*$"},
+    "experiment": {"type": "string", "minLength": 1},
+    "title": {"type": "string", "minLength": 1},
+    "env": {
+      "type": "object",
+      "required": ["goos", "goarch", "go_version", "gomaxprocs", "num_cpu"],
+      "additionalProperties": false,
+      "properties": {
+        "goos": {"type": "string"},
+        "goarch": {"type": "string"},
+        "go_version": {"type": "string"},
+        "gomaxprocs": {"type": "integer", "minimum": 1},
+        "num_cpu": {"type": "integer", "minimum": 1},
+        "cpu_model": {"type": "string"},
+        "commit": {"type": "string"}
+      }
+    },
+    "methodology": {
+      "type": "object",
+      "required": ["estimator", "warmup"],
+      "additionalProperties": false,
+      "properties": {
+        "estimator": {"type": "string", "minLength": 1},
+        "warmup": {"type": "boolean"},
+        "min_duration_ns": {"type": "integer", "minimum": 0},
+        "packets": {"type": "integer", "minimum": 0}
+      }
+    },
+    "metrics": {
+      "type": "array",
+      "minItems": 1,
+      "items": {
+        "type": "object",
+        "required": ["name", "unit", "value", "better"],
+        "additionalProperties": false,
+        "properties": {
+          "name": {"type": "string", "minLength": 1},
+          "unit": {"type": "string", "minLength": 1},
+          "value": {"type": "number"},
+          "better": {"enum": ["lower", "higher", "info"]},
+          "dist": {
+            "type": "object",
+            "required": ["count", "mean", "p50", "p90", "p99"],
+            "additionalProperties": false,
+            "properties": {
+              "count": {"type": "integer", "minimum": 0},
+              "mean": {"type": "number"},
+              "p50": {"type": "integer", "minimum": 0},
+              "p90": {"type": "integer", "minimum": 0},
+              "p99": {"type": "integer", "minimum": 0}
+            }
+          }
+        }
+      }
+    }
+  }
+}
+`
