@@ -12,6 +12,7 @@
 //	nicsim -nic mlx5 -req rss -stats-addr localhost:9100  # /metrics endpoint
 //	nicsim -nic e1000e -req rss,vlan,pkt_len \
 //	       -faults corrupt=1e-3,hang=2@5000 -seed 7       # hardened driver under injection
+//	nicsim -nic mlx5 -tenants 8 -packets 4096             # multi-tenant serving plane
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		evolveRun = flag.Bool("evolve", false, "run the live-renegotiation demo: shift the read mix mid-run and report switchovers")
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. corrupt=1e-3,drop=1e-4,hang=2@5000: run the hardened driver under injection and report detection/recovery")
 		seed      = flag.Uint64("seed", 1, "fault-injection PRNG seed (with -faults)")
+		tenants   = flag.Int("tenants", 0, "run the multi-tenant serving-plane demo with this many tenants (jointly-compiled intents, RSS sharding, mid-run renegotiation)")
 	)
 	flag.StringVar(&flightTrace, "flight", "", "write the flight-recorder Chrome trace (Perfetto-loadable JSON) to this file on exit")
 	flag.StringVar(&flightDump, "flight-dump", "", "directory for automatic flight-recorder postmortem dumps (.odfl, decode with 'opendesc flight')")
@@ -58,6 +60,10 @@ func main() {
 		if s = strings.TrimSpace(s); s != "" {
 			names = append(names, semantics.Name(s))
 		}
+	}
+	if *tenants > 0 {
+		runTenants(*nicName, *tenants, *packets, *statsAddr, *stats)
+		return
 	}
 	intent, err := core.IntentFromSemantics("demo", semantics.Default, names...)
 	if err != nil {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"opendesc"
@@ -124,42 +125,51 @@ func e16Drive(n int, plan *faults.Plan, harden *opendesc.HardenOptions) (*e16Run
 }
 
 // e16Time measures the bare datapath cost (Rx, Poll, three metadata reads —
-// no golden cross-checking) of n packets through a driver variant.
+// no golden cross-checking) of n packets through a driver variant,
+// min-of-5 rounds (fresh driver and a clean heap per round) against
+// scheduler and GC noise.
 func e16Time(n int, harden *opendesc.HardenOptions) (float64, error) {
-	intent, err := opendesc.NewIntent("e16", "rss", "vlan", "pkt_len")
-	if err != nil {
-		return 0, err
-	}
-	drv, err := opendesc.OpenWith("e1000e", intent, opendesc.OpenOptions{Harden: harden})
-	if err != nil {
-		return 0, err
-	}
 	tr, err := workload.Generate(workload.DefaultSpec())
 	if err != nil {
 		return 0, err
 	}
-	var sink uint64
-	h := func(p []byte, meta opendesc.Meta) {
-		v1, _ := meta.Get("rss")
-		v2, _ := meta.Get("vlan")
-		v3, _ := meta.Get("pkt_len")
-		sink += v1 + v2 + v3
-	}
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		p := tr.Packets[i%len(tr.Packets)]
-		for !drv.Rx(p) {
-			drv.Poll(h)
+	best := 0.0
+	for round := 0; round < 5; round++ {
+		runtime.GC()
+		intent, err := opendesc.NewIntent("e16", "rss", "vlan", "pkt_len")
+		if err != nil {
+			return 0, err
 		}
-		if i%8 == 7 {
-			drv.Poll(h)
+		drv, err := opendesc.OpenWith("e1000e", intent, opendesc.OpenOptions{Harden: harden})
+		if err != nil {
+			return 0, err
+		}
+		var sink uint64
+		h := func(p []byte, meta opendesc.Meta) {
+			v1, _ := meta.Get("rss")
+			v2, _ := meta.Get("vlan")
+			v3, _ := meta.Get("pkt_len")
+			sink += v1 + v2 + v3
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			p := tr.Packets[i%len(tr.Packets)]
+			for !drv.Rx(p) {
+				drv.Poll(h)
+			}
+			if i%8 == 7 {
+				drv.Poll(h)
+			}
+		}
+		for drv.Poll(h) > 0 {
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(n)
+		_ = sink
+		if round == 0 || ns < best {
+			best = ns
 		}
 	}
-	for drv.Poll(h) > 0 {
-	}
-	ns := float64(time.Since(start).Nanoseconds()) / float64(n)
-	_ = sink
-	return ns, nil
+	return best, nil
 }
 
 // E16Faults is the fault matrix (DESIGN.md §21): one hardened-driver run per
@@ -257,6 +267,27 @@ func E16Faults(packets int) (*Table, error) {
 		return nil, fmt.Errorf("clean hardened run tripped recovery: %+v", clean.hard)
 	}
 
+	// The goodput ratio divides two measured drives; take the min-of-3 of
+	// each side (the drives are seeded, so counters repeat exactly — only
+	// the wall clock varies) to keep the ratio inside the CI gate's noise
+	// budget.
+	for round := 0; round < 2; round++ {
+		r, err := e16Drive(packets, &combined, deep)
+		if err != nil {
+			return nil, fmt.Errorf("combined round %d: %w", round+2, err)
+		}
+		if r.nsPerPkt < comb.nsPerPkt {
+			comb.nsPerPkt = r.nsPerPkt
+		}
+		c, err := e16Drive(packets, nil, deep)
+		if err != nil {
+			return nil, fmt.Errorf("clean round %d: %w", round+2, err)
+		}
+		if c.nsPerPkt < clean.nsPerPkt {
+			clean.nsPerPkt = c.nsPerPkt
+		}
+	}
+
 	// Overhead: bare datapath cost of the plain pre-hardening driver vs the
 	// hardened driver at its default (structural) and deep validation tiers,
 	// injection disabled. Goodput under corruption comes from the combined
@@ -286,7 +317,10 @@ func E16Faults(packets int) (*Table, error) {
 	addTiming(rec, "overhead/plain", "ns/pkt", plainNs)
 	addTiming(rec, "overhead/structural", "ns/pkt", structNs)
 	addTiming(rec, "overhead/deep", "ns/pkt", deepNs)
-	rec.AddValue("overhead/structural_pct", "ratio", (structNs-plainNs)/plainNs, perf.Lower)
+	// structural_pct hovers around zero (structural validation is nearly
+	// free), so a fractional gate on it is pure noise — the plain/structural
+	// /deep ns/pkt rows above carry the actual gate.
+	rec.AddValue("overhead/structural_pct", "ratio", (structNs-plainNs)/plainNs, perf.Info)
 	rec.AddValue("goodput/corrupt_vs_clean", "ratio", clean.nsPerPkt/comb.nsPerPkt, perf.Higher)
 	return tab, nil
 }

@@ -61,12 +61,14 @@ const (
 	baselineE15Packets = 2048
 	baselineE16Packets = 20000
 	baselineE17Packets = 4096
+	baselineE19Packets = 4096
 )
 
-// BaselineExperiments returns the five artifact-emitting experiments at
+// BaselineExperiments returns the six artifact-emitting experiments at
 // their pinned baseline parameters: the E4 datapath comparison, the E11
 // interface-model microbench, E15 live renegotiation, the E16 fault
-// matrix, and the E17 flight-recorder overhead run.
+// matrix, the E17 flight-recorder overhead run, and the E19 multi-tenant
+// serving plane.
 func BaselineExperiments() []BaselineExp {
 	return []BaselineExp{
 		{"e4", "e4_datapath", func() (*Table, error) { return E4Datapath(baselinePackets, baselineMinDur) }},
@@ -74,5 +76,6 @@ func BaselineExperiments() []BaselineExp {
 		{"e15", "e15_evolve", func() (*Table, error) { return E15Evolve(baselineE15Packets) }},
 		{"e16", "e16_faults", func() (*Table, error) { return E16Faults(baselineE16Packets) }},
 		{"e17", "e17_flight", func() (*Table, error) { return E17Flight(baselineE17Packets, "") }},
+		{"e19", "e19_tenants", func() (*Table, error) { return E19Tenants(baselineE19Packets) }},
 	}
 }

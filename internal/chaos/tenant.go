@@ -1,0 +1,391 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"opendesc/internal/evolve"
+	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/tenant"
+	"opendesc/internal/vclock"
+	"opendesc/internal/workload"
+)
+
+// TenantConfig describes one multi-tenant serving-plane chaos scenario
+// (S23): N tenants share one RSS-sharded plane while the scheduler
+// interleaves Zipf arrivals, per-core polls (including steals), clock
+// advances, and per-tenant renegotiations. The tenant-isolation oracle
+// family checks that one tenant's hot-swap never loses, reorders, or
+// corrupts a neighbor's traffic.
+type TenantConfig struct {
+	// NIC is the bundled model (default "mlx5" — the only bundled model
+	// with enough alternative completion formats for renegotiations to
+	// move the joint layout).
+	NIC string
+	// Tenants is the tenant count (default 4, max 64).
+	Tenants int
+	// Cores is the RSS shard / poll-loop count (default 2, max 8).
+	Cores int
+	// RingEntries sizes each queue's completion ring (default 64).
+	RingEntries int
+	// Steps is the schedule length (default 512).
+	Steps int
+	// Skew is the Zipf exponent of the arrival trace (default 1.1).
+	Skew float64
+}
+
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.NIC == "" {
+		c.NIC = "mlx5"
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Tenants > 64 {
+		c.Tenants = 64
+	}
+	if c.Cores <= 0 {
+		c.Cores = 2
+	}
+	if c.Cores > 8 {
+		c.Cores = 8
+	}
+	if c.RingEntries <= 0 {
+		c.RingEntries = 64
+	}
+	if c.Steps <= 0 {
+		c.Steps = 512
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.1
+	}
+	return c
+}
+
+// tenantPhases is the pair of intents each tenant renegotiates between.
+// Every semantic has a SoftNIC ground-truth function, so the golden oracle
+// can check any read in any phase; the sets differ enough that a flip can
+// move the joint optimum (forcing full drain/apply switchovers) or keep it
+// (exercising the accessor-only fast path), depending on the neighbors.
+var tenantPhases = [2][]string{
+	{"rss", "pkt_len"},
+	{"flow_id", "pkt_len", "tunnel_id"},
+}
+
+// TenantResult is the outcome of one tenant-plane chaos run.
+type TenantResult struct {
+	// Violation is nil when every oracle held through the schedule plus the
+	// final drain.
+	Violation *Violation
+	// Trace is the deterministic run log: same (cfg, seed) ⇒ identical.
+	Trace []byte
+	// Events counts executed schedule steps.
+	Events int
+
+	Accepted  uint64
+	Delivered uint64
+	Rejected  uint64
+	// Renegs / FastRenegs split completed renegotiations into layout
+	// switchovers and accessor-only swaps.
+	Renegs     uint64
+	FastRenegs uint64
+	Steals     uint64
+}
+
+// tenantExpect is one accepted packet in a queue's FIFO expectation: the
+// exactly-once oracle matches deliveries against it by slice identity.
+type tenantExpect struct {
+	pkt    []byte
+	tenant int
+}
+
+// tenantRunner executes one tenant-plane schedule.
+type tenantRunner struct {
+	cfg    TenantConfig
+	plane  *tenant.Plane
+	clk    *vclock.Virtual
+	trace  *workload.ZipfTrace
+	golden map[semantics.Name]func(*pkt.Info, []byte) uint64
+
+	fifo      [][]tenantExpect // per queue, arrival order
+	accepted  []uint64         // per tenant
+	delivered []uint64         // per tenant
+	phase     []int            // per tenant: which tenantPhases entry is live
+	nextPkt   int
+
+	log  strings.Builder
+	res  *TenantResult
+	viol *Violation
+}
+
+// RunTenant executes the tenant-isolation chaos scenario for (cfg, seed).
+// Deterministic: the plane runs on a virtual clock, the schedule and the
+// Zipf trace come from splitmix64 streams, and all polling is
+// single-threaded (concurrency is modeled by interleaving poll events
+// across cores, the same discipline the harden/evolve runner uses for
+// queues).
+func RunTenant(cfg TenantConfig, seed uint64) *TenantResult {
+	cfg = cfg.withDefaults()
+	r := &tenantRunner{cfg: cfg, clk: vclock.NewVirtual(1), res: &TenantResult{}}
+	if err := r.setup(seed); err != nil {
+		r.res.Violation = &Violation{Oracle: "setup", Detail: err.Error()}
+		return r.res
+	}
+	rng := &rng{s: seed ^ 0x7e3a9d4b5c216f08}
+	for step := 0; step < cfg.Steps; step++ {
+		if r.viol != nil {
+			break
+		}
+		r.exec(step, rng)
+		r.res.Events++
+	}
+	if r.viol == nil {
+		r.finalDrain(cfg.Steps)
+	}
+	r.res.Violation = r.viol
+	st := r.plane.Stats()
+	r.res.Renegs = st.Renegs
+	r.res.FastRenegs = st.FastRenegs
+	r.res.Steals = st.Steals
+	for t := range r.accepted {
+		r.res.Accepted += r.accepted[t]
+		r.res.Delivered += r.delivered[t]
+	}
+	r.res.Trace = []byte(r.log.String())
+	return r.res
+}
+
+func (r *tenantRunner) setup(seed uint64) error {
+	cfg := r.cfg
+	specs := make([]tenant.Spec, cfg.Tenants)
+	r.phase = make([]int, cfg.Tenants)
+	for i := range specs {
+		specs[i] = tenant.Spec{
+			Name:      fmt.Sprintf("t%d", i),
+			Semantics: tenantPhases[0],
+		}
+	}
+	p, err := tenant.Open(tenant.Options{
+		NIC:         cfg.NIC,
+		Cores:       cfg.Cores,
+		RingEntries: cfg.RingEntries,
+		Clock:       r.clk,
+		Policy:      evolve.JointPolicy{Interval: 1 << 30}, // scripted renegs only
+	}, specs...)
+	if err != nil {
+		return err
+	}
+	r.plane = p
+	r.trace, err = workload.GenerateZipf(workload.ZipfSpec{
+		Packets: cfg.Steps,
+		Flows:   1 << 16,
+		Skew:    cfg.Skew,
+		Tenants: cfg.Tenants,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.fifo = make([][]tenantExpect, cfg.Cores)
+	r.accepted = make([]uint64, cfg.Tenants)
+	r.delivered = make([]uint64, cfg.Tenants)
+
+	// Ground truth for every semantic either phase can read. pkt_len is the
+	// wire length; the rest are pure functions of the decoded packet.
+	funcs := softnic.Funcs()
+	r.golden = map[semantics.Name]func(*pkt.Info, []byte) uint64{
+		semantics.PktLen: func(_ *pkt.Info, p []byte) uint64 { return uint64(len(p)) },
+	}
+	for _, s := range []semantics.Name{semantics.RSS, semantics.FlowID, semantics.TunnelID} {
+		f := funcs[s]
+		r.golden[s] = func(_ *pkt.Info, p []byte) uint64 { return f(p) }
+	}
+	return nil
+}
+
+// exec runs one schedule step. Event kinds are drawn inline (the tenant
+// scenario does not share the harden/evolve Event grammar: its reneg events
+// have no fault-class analogue).
+func (r *tenantRunner) exec(step int, rng *rng) {
+	switch roll := rng.intn(100); {
+	case roll < 50:
+		r.rx(step)
+	case roll < 80:
+		core := rng.intn(r.cfg.Cores)
+		r.poll(step, core)
+	case roll < 90:
+		ns := uint64(1+rng.intn(4096)) * 256
+		r.clk.Advance(ns)
+		fmt.Fprintf(&r.log, "%4d advance %d\n", step, ns)
+	default:
+		t := rng.intn(r.cfg.Tenants)
+		r.reneg(step, t)
+	}
+}
+
+func (r *tenantRunner) rx(step int) {
+	pk := r.trace.Packets[r.nextPkt%len(r.trace.Packets)]
+	ti := r.trace.TenantOf[r.nextPkt%len(r.trace.Packets)]
+	r.nextPkt++
+	var in pkt.Info
+	if err := pkt.Decode(pk, &in); err != nil {
+		r.fail(&Violation{Oracle: "setup", Step: step, Detail: "undecodable trace packet: " + err.Error()})
+		return
+	}
+	q := r.plane.Steer(&in)
+	if r.plane.Rx(pk) {
+		r.fifo[q] = append(r.fifo[q], tenantExpect{pkt: pk, tenant: ti})
+		r.accepted[ti]++
+		fmt.Fprintf(&r.log, "%4d rx t%d q%d\n", step, ti, q)
+	} else {
+		r.res.Rejected++
+		fmt.Fprintf(&r.log, "%4d rx t%d q%d REJECT\n", step, ti, q)
+	}
+}
+
+// poll drains one core and checks every delivery against the per-queue FIFO
+// (exactly-once, in order, right tenant — by slice identity) and the golden
+// metadata model (zero garbage reads in any generation).
+func (r *tenantRunner) poll(step, core int) {
+	n := r.plane.PollCore(core, func(d tenant.Delivery) {
+		if r.viol != nil {
+			return
+		}
+		q := d.Queue
+		if len(r.fifo[q]) == 0 {
+			r.fail(&Violation{Oracle: "exactly-once", Step: step, Queue: q,
+				Detail: "delivery from a queue with no packets outstanding"})
+			return
+		}
+		want := r.fifo[q][0]
+		r.fifo[q] = r.fifo[q][1:]
+		if &want.pkt[0] != &d.Pkt[0] {
+			r.fail(&Violation{Oracle: "exactly-once", Step: step, Queue: q,
+				Detail: "delivery out of order (packet identity mismatch)"})
+			return
+		}
+		if want.tenant != d.Tenant {
+			r.fail(&Violation{Oracle: "tenant-isolation", Step: step, Queue: q,
+				Detail: fmt.Sprintf("packet for tenant %d delivered to tenant %d", want.tenant, d.Tenant)})
+			return
+		}
+		var in pkt.Info
+		if err := pkt.Decode(d.Pkt, &in); err != nil {
+			r.fail(&Violation{Oracle: "golden-metadata", Step: step, Queue: q,
+				Detail: "delivered packet undecodable: " + err.Error()})
+			return
+		}
+		// Any semantic that resolves must carry its ground-truth value,
+		// whichever generation's layout it was DMAed under. (Resolution
+		// itself is intent-scoped and may legitimately change across a
+		// renegotiation; garbage values may not.)
+		for s, golden := range r.golden {
+			got, ok := d.Get(string(s))
+			if !ok {
+				continue
+			}
+			want := golden(&in, d.Pkt)
+			// A hardware field narrower than the semantic's natural width
+			// truncates (mlx5's 24-bit flow_tag vs the 32-bit software
+			// FlowID): compare under the accessor's width.
+			if w := d.Width(string(s)); d.Hardware(string(s)) && w > 0 && w < 64 {
+				want &= (1 << w) - 1
+			}
+			if got != want {
+				r.fail(&Violation{Oracle: "golden-metadata", Step: step, Queue: q,
+					Detail: fmt.Sprintf("tenant %d read %s = %#x, ground truth %#x", d.Tenant, s, got, want)})
+				return
+			}
+		}
+		r.delivered[d.Tenant]++
+	})
+	if n > 0 {
+		fmt.Fprintf(&r.log, "%4d poll c%d -> %d\n", step, core, n)
+	}
+}
+
+// reneg flips one tenant's intent phase and checks the isolation oracle
+// around the switchover: the renegotiation itself must deliver nothing,
+// drop nothing (pending is conserved), and leave every per-queue FIFO
+// expectation intact — neighbors cannot even observe that it happened
+// until their next read resolves against the new joint layout.
+func (r *tenantRunner) reneg(step, t int) {
+	pendingBefore := r.plane.Pending()
+	deliveredBefore := make([]uint64, len(r.delivered))
+	copy(deliveredBefore, r.delivered)
+
+	next := 1 - r.phase[t]
+	err := r.plane.Renegotiate(fmt.Sprintf("t%d", t), tenantPhases[next]...)
+	if err != nil {
+		r.fail(&Violation{Oracle: "reneg", Step: step,
+			Detail: fmt.Sprintf("tenant %d: %v", t, err)})
+		return
+	}
+	r.phase[t] = next
+
+	if got := r.plane.Pending(); got != pendingBefore {
+		r.fail(&Violation{Oracle: "tenant-isolation", Step: step,
+			Detail: fmt.Sprintf("renegotiation changed pending %d -> %d (in-flight traffic lost or invented)",
+				pendingBefore, got)})
+		return
+	}
+	for i := range r.delivered {
+		if r.delivered[i] != deliveredBefore[i] {
+			r.fail(&Violation{Oracle: "tenant-isolation", Step: step,
+				Detail: fmt.Sprintf("renegotiation of tenant %d delivered traffic for tenant %d", t, i)})
+			return
+		}
+	}
+	fmt.Fprintf(&r.log, "%4d reneg t%d phase%d gen%d\n", step, t, next, r.plane.Generation())
+}
+
+// finalDrain polls everything out and checks conservation: every accepted
+// packet was delivered exactly once to its own tenant, across however many
+// renegotiations the schedule scripted.
+func (r *tenantRunner) finalDrain(step int) {
+	for r.viol == nil {
+		n := 0
+		for c := 0; c < r.cfg.Cores; c++ {
+			before := r.totalDelivered()
+			r.poll(step, c)
+			n += int(r.totalDelivered() - before)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if r.viol != nil {
+		return
+	}
+	for t := range r.accepted {
+		if r.accepted[t] != r.delivered[t] {
+			r.fail(&Violation{Oracle: "conservation", Step: step,
+				Detail: fmt.Sprintf("tenant %d: accepted %d, delivered %d", t, r.accepted[t], r.delivered[t])})
+			return
+		}
+	}
+	for q := range r.fifo {
+		if len(r.fifo[q]) != 0 {
+			r.fail(&Violation{Oracle: "conservation", Step: step, Queue: q,
+				Detail: fmt.Sprintf("%d packets still expected after the final drain", len(r.fifo[q]))})
+			return
+		}
+	}
+}
+
+func (r *tenantRunner) totalDelivered() uint64 {
+	var n uint64
+	for _, d := range r.delivered {
+		n += d
+	}
+	return n
+}
+
+func (r *tenantRunner) fail(v *Violation) {
+	if r.viol == nil {
+		r.viol = v
+		fmt.Fprintf(&r.log, "VIOLATION %s q%d: %s\n", v.Oracle, v.Queue, v.Detail)
+	}
+}

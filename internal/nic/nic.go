@@ -142,6 +142,13 @@ func (m *Model) Compile(intent *core.Intent, opts core.CompileOptions) (*core.Re
 	return core.Compile(m.Name, m.Deparser, intent, opts)
 }
 
+// CompileJoint maps N tenant intents onto this NIC at once, solving the
+// joint Eq. 1 objective for one shared device configuration (see
+// core.CompileJoint).
+func (m *Model) CompileJoint(tenants []core.TenantIntent, opts core.CompileOptions) (*core.JointResult, error) {
+	return core.CompileJoint(m.Name, m.Deparser, tenants, opts)
+}
+
 // TxInstance binds the model's DescParser for TX-direction analysis.
 func (m *Model) TxInstance() (*sema.Instance, error) {
 	if m.TxParserName == "" {

@@ -124,11 +124,22 @@ type Device struct {
 	// environment (context param excluded).
 	metaParams []*sema.BoundParam
 	ctxParam   string
+	// envFields is the flattened field list of metaParams, precomputed once
+	// so the per-packet emit path never rebuilds dotted field names.
+	envFields []envField
 
 	// scratch
 	info    pkt.Info
 	envBuf  sema.MapEnv
+	valsBuf map[semantics.Name]uint64
 	cmptBuf []byte
+}
+
+// envField is one leaf field of a deparser composite parameter.
+type envField struct {
+	name  string // dotted path, e.g. "cqe.rss_hash"
+	sem   semantics.Name
+	width int
 }
 
 // maxCompletionBytes bounds a single completion record in the simulator.
@@ -162,6 +173,7 @@ func New(m *nic.Model, cfg Config) (*Device, error) {
 		CmptRing: ring.MustNew(maxCompletionBytes, cfg.RingEntries),
 		Buffers:  ring.MustNewBufferPool(cfg.BufSize, cfg.RingEntries),
 		envBuf:   make(sema.MapEnv),
+		valsBuf:  make(map[semantics.Name]uint64, 32),
 		cmptBuf:  make([]byte, maxCompletionBytes),
 		pathHits: make([]obs.Counter, len(paths)),
 		offloads: make(map[semantics.Name]*obs.Counter, len(offloadSemantics)),
@@ -188,7 +200,28 @@ func New(m *nic.Model, cfg Config) (*Device, error) {
 		_ = ct
 		d.metaParams = append(d.metaParams, p)
 	}
+	for _, p := range d.metaParams {
+		d.flattenFields(p.Name, p.Type.(*sema.CompositeType))
+	}
 	return d, nil
+}
+
+// flattenFields records every emit-relevant leaf field of a composite
+// parameter under its dotted name (pads and oversized fields excluded, as in
+// the emit path they feed).
+func (d *Device) flattenFields(prefix string, ct *sema.CompositeType) {
+	for _, f := range ct.Fields {
+		name := prefix + "." + f.Name
+		if nested, ok := f.Type.(*sema.CompositeType); ok {
+			d.flattenFields(name, nested)
+			continue
+		}
+		w := f.Type.BitWidth()
+		if w <= 0 || w > 64 {
+			continue
+		}
+		d.envFields = append(d.envFields, envField{name: name, sem: semantics.Name(f.Semantic), width: w})
+	}
 }
 
 // Config returns the device's (defaulted) configuration — the concrete
@@ -520,20 +553,23 @@ func (d *Device) Reset() error {
 	return nil
 }
 
-// computeOffloads runs the golden reference engines over the packet.
+// computeOffloads runs the golden reference engines over the packet. The
+// returned map is the device's scratch buffer, valid until the next packet.
 func (d *Device) computeOffloads(packet []byte) map[semantics.Name]uint64 {
 	in := &d.info
 	decodeOK := pkt.Decode(packet, in) == nil
-	vals := map[semantics.Name]uint64{
-		semantics.PktLen:     uint64(len(packet)),
-		semantics.Timestamp:  d.clock,
-		semantics.QueueID:    uint64(d.cfg.QueueID),
-		semantics.Mark:       d.cfg.Mark,
-		semantics.CryptoCtx:  d.cfg.CryptoCtx,
-		semantics.LROSegs:    1,
-		semantics.SegCnt:     1,
-		semantics.RXDropHint: 0,
+	vals := d.valsBuf
+	for k := range vals {
+		delete(vals, k)
 	}
+	vals[semantics.PktLen] = uint64(len(packet))
+	vals[semantics.Timestamp] = d.clock
+	vals[semantics.QueueID] = uint64(d.cfg.QueueID)
+	vals[semantics.Mark] = d.cfg.Mark
+	vals[semantics.CryptoCtx] = d.cfg.CryptoCtx
+	vals[semantics.LROSegs] = 1
+	vals[semantics.SegCnt] = 1
+	vals[semantics.RXDropHint] = 0
 	if !decodeOK {
 		vals[semantics.ErrorFlags] = 0x80 // parse error
 		return vals
@@ -584,7 +620,8 @@ func (d *Device) computeOffloads(packet []byte) map[semantics.Name]uint64 {
 }
 
 // buildEnv maps every semantic-tagged field of the deparser's composite
-// parameters to its computed value, plus the context registers.
+// parameters to its computed value, plus the context registers. It walks the
+// field list flattened at construction — no per-packet name building.
 func (d *Device) buildEnv(vals map[semantics.Name]uint64) sema.MapEnv {
 	env := d.envBuf
 	for k := range env {
@@ -593,33 +630,17 @@ func (d *Device) buildEnv(vals map[semantics.Name]uint64) sema.MapEnv {
 	for k, v := range d.ctx {
 		env[k] = v
 	}
-	for _, p := range d.metaParams {
-		ct := p.Type.(*sema.CompositeType)
-		d.fillEnv(env, p.Name, ct, vals)
-	}
-	return env
-}
-
-func (d *Device) fillEnv(env sema.MapEnv, prefix string, ct *sema.CompositeType, vals map[semantics.Name]uint64) {
-	for _, f := range ct.Fields {
-		name := prefix + "." + f.Name
-		if nested, ok := f.Type.(*sema.CompositeType); ok {
-			d.fillEnv(env, name, nested, vals)
-			continue
-		}
-		w := f.Type.BitWidth()
-		if w <= 0 || w > 64 {
-			continue // pads and oversized fields stay zero
-		}
+	for _, f := range d.envFields {
 		var v uint64
-		if f.Semantic != "" {
-			v = vals[semantics.Name(f.Semantic)]
-			if w < 64 {
-				v &= (uint64(1) << w) - 1
+		if f.sem != "" {
+			v = vals[f.sem]
+			if f.width < 64 {
+				v &= (uint64(1) << f.width) - 1
 			}
 		}
-		env[name] = sema.UintValue(v, w)
+		env[f.name] = sema.UintValue(v, f.width)
 	}
+	return env
 }
 
 // serializeCompletion walks the deparser CFG under env, writing emitted

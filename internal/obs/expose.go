@@ -149,15 +149,16 @@ type extraRoute struct {
 // before Handler()/Serve(); later registrations only affect muxes built
 // afterwards.
 func (r *Registry) Handle(pattern string, h http.Handler) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for i := range r.extra {
-		if r.extra[i].pattern == pattern {
-			r.extra[i].h = h
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.extra {
+		if c.extra[i].pattern == pattern {
+			c.extra[i].h = h
 			return
 		}
 	}
-	r.extra = append(r.extra, extraRoute{pattern: pattern, h: h})
+	c.extra = append(c.extra, extraRoute{pattern: pattern, h: h})
 }
 
 // Handler returns an http.Handler serving /metrics (Prometheus text format),
@@ -178,9 +179,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	r.mu.Lock()
-	extra := append([]extraRoute(nil), r.extra...)
-	r.mu.Unlock()
+	r.core.mu.Lock()
+	extra := append([]extraRoute(nil), r.core.extra...)
+	r.core.mu.Unlock()
 	for _, e := range extra {
 		mux.Handle(e.pattern, e.h)
 	}

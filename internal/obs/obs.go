@@ -14,6 +14,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -142,89 +143,169 @@ func seriesKey(name string, labels []Label) string { return name + labelString(l
 // Registry holds a set of named metrics. Registration is mutex-guarded;
 // metric updates are lock-free; rendering takes a snapshot under the mutex
 // so it is safe concurrently with updates and further registration.
+//
+// A Registry value is a view onto a shared store: WithLabels derives a view
+// that appends namespace labels (tenant, driver, …) to every series
+// registered through it, so multiple components can share one stats
+// endpoint without colliding. All views render the same store.
 type Registry struct {
+	core *regCore
+	// base labels are appended to every series registered through this view.
+	base []Label
+}
+
+// regCore is the store shared by all views of one registry.
+type regCore struct {
 	mu      sync.Mutex
 	ordered []*metric
 	byKey   map[string]*metric
-	extra   []extraRoute // additional handlers mounted on Handler()'s mux
+	// instances counts auto-disambiguated registrations per colliding key
+	// (see register).
+	instances  map[string]int
+	collisions uint64
+	extra      []extraRoute // additional handlers mounted on Handler()'s mux
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: make(map[string]*metric)}
+	return &Registry{core: &regCore{
+		byKey:     make(map[string]*metric),
+		instances: make(map[string]int),
+	}}
 }
 
 // Default is the process-wide registry used by the package-level helpers.
 var Default = NewRegistry()
 
-// register adds m unless a series with the same key exists, in which case
-// the existing one is returned (idempotent registration so components can
-// re-register on reconfiguration).
-func (r *Registry) register(m *metric) *metric {
-	key := seriesKey(m.name, m.labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if prev, ok := r.byKey[key]; ok {
-		return prev
+// WithLabels returns a view of the registry that appends the given labels
+// to every series registered through it. Views share the store: rendering
+// any view renders everything. Give each driver/tenant its own view so
+// components sharing a stats endpoint occupy disjoint label namespaces.
+func (r *Registry) WithLabels(labels ...Label) *Registry {
+	base := make([]Label, 0, len(r.base)+len(labels))
+	base = append(base, r.base...)
+	base = append(base, labels...)
+	return &Registry{core: r.core, base: base}
+}
+
+// sameSource reports whether two registrations refer to the same underlying
+// value source. Func-kind sources are not comparable and report true, which
+// keeps their registration idempotent-by-key.
+func sameSource(a, b *metric) bool {
+	if a.kind != b.kind {
+		return false
 	}
-	r.byKey[key] = m
-	r.ordered = append(r.ordered, m)
+	switch a.kind {
+	case kindCounter:
+		return a.c == b.c
+	case kindGauge:
+		return a.g == b.g
+	case kindHistogram:
+		return a.h == b.h
+	default:
+		return true
+	}
+}
+
+// register adds m. A series with the same key and the same source is
+// returned as-is (idempotent registration so components can re-register on
+// reconfiguration). When attach is set and the key is taken by a *different*
+// source — two drivers exposing the same counter block on one endpoint —
+// the new series is disambiguated with an auto-incrementing instance label
+// instead of being silently dropped, so no registration loses its data.
+func (r *Registry) register(m *metric, attach bool) *metric {
+	if len(r.base) > 0 {
+		m.labels = append(append(make([]Label, 0, len(m.labels)+len(r.base)), m.labels...), r.base...)
+	}
+	key := seriesKey(m.name, m.labels)
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.byKey[key]; ok {
+		if !attach || sameSource(prev, m) {
+			return prev
+		}
+		c.collisions++
+		for {
+			c.instances[key]++
+			labels := append(append(make([]Label, 0, len(m.labels)+1), m.labels...),
+				L("instance", strconv.Itoa(c.instances[key])))
+			k := seriesKey(m.name, labels)
+			if _, dup := c.byKey[k]; !dup {
+				m.labels, key = labels, k
+				break
+			}
+		}
+	}
+	c.byKey[key] = m
+	c.ordered = append(c.ordered, m)
 	return m
+}
+
+// Collisions reports how many registrations were instance-disambiguated
+// because a different source claimed an identical series key.
+func (r *Registry) Collisions() uint64 {
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	return r.core.collisions
 }
 
 // Counter registers (or returns the existing) counter series.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: &Counter{}})
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: &Counter{}}, false)
 	return m.c
 }
 
 // Gauge registers (or returns the existing) gauge series.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: &Gauge{}})
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: &Gauge{}}, false)
 	return m.g
 }
 
 // Histogram registers (or returns the existing) histogram series.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
-	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: NewHistogram()})
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: NewHistogram()}, false)
 	return m.h
 }
 
 // CounterFunc registers a counter whose value is read from fn at render
 // time — for exposing counters owned by another subsystem (e.g. a ring's
-// produced count) without double bookkeeping.
+// produced count) without double bookkeeping. Func sources are not
+// comparable, so re-registering an identical key stays idempotent; give
+// each owner a WithLabels view to keep func series distinct.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounterFunc, fn: fn})
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounterFunc, fn: fn}, false)
 }
 
 // GaugeFunc registers a gauge read from fn at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, gf: fn})
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, gf: fn}, false)
 }
 
 // AttachCounter registers an externally owned Counter under the given
 // series, so subsystems can keep their counters inline (hot, padded) and
-// still expose them.
+// still expose them. Attaching a different Counter under an already-taken
+// key disambiguates the new series with an instance label.
 func (r *Registry) AttachCounter(name, help string, c *Counter, labels ...Label) {
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: c})
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, c: c}, true)
 }
 
 // AttachGauge registers an externally owned Gauge.
 func (r *Registry) AttachGauge(name, help string, g *Gauge, labels ...Label) {
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: g})
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, g: g}, true)
 }
 
 // AttachHistogram registers an externally owned Histogram.
 func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: h})
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, h: h}, true)
 }
 
 // snapshot copies the metric list under the lock.
 func (r *Registry) snapshot() []*metric {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*metric, len(r.ordered))
-	copy(out, r.ordered)
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	out := make([]*metric, len(r.core.ordered))
+	copy(out, r.core.ordered)
 	return out
 }
 

@@ -24,40 +24,56 @@ var DefaultToeplitzKey = [40]byte{
 	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 }
 
+// SymmetricToeplitzKey is a repeating 16-bit-pattern key (0x6d5a). A
+// Toeplitz key whose bits repeat with period 16 makes the hash invariant
+// under swapping (src IP, dst IP) and (src port, dst port) — every field
+// moves by a multiple of 16 bits — so both directions of a flow land on the
+// same RSS queue. The multi-tenant serving plane steers with this key.
+var SymmetricToeplitzKey = [40]byte{
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+}
+
 // Toeplitz computes the Toeplitz hash of input under key, as NIC RSS engines
 // do.
 func Toeplitz(key []byte, input []byte) uint32 {
+	if len(key) < 4 {
+		return 0 // no 32-bit window ever forms
+	}
 	var hash uint32
-	// Sliding 32-bit window over the key, MSB first.
-	var window uint32
-	if len(key) >= 4 {
-		window = binary.BigEndian.Uint32(key[:4])
-	}
-	keyBit := 32 // next key bit index
-	nextKeyBit := func() {
-		byteIdx := keyBit / 8
-		bit := 7 - keyBit%8
-		var b uint32
-		if byteIdx < len(key) {
-			b = uint32(key[byteIdx]>>bit) & 1
+	for i, in := range input {
+		if in == 0 {
+			continue // zero byte XORs nothing
 		}
-		window = window<<1 | b
-		keyBit++
-	}
-	for _, in := range input {
-		for m := 7; m >= 0; m-- {
-			if in>>m&1 == 1 {
-				hash ^= window
+		// 64 key bits starting at byte i (zero-padded past the end):
+		// bits b..b+31 of this window are the Toeplitz window for input
+		// bit b (MSB first) of byte i.
+		var w uint64
+		for k := i; k < i+8; k++ {
+			w <<= 8
+			if k < len(key) {
+				w |= uint64(key[k])
 			}
-			nextKeyBit()
+		}
+		for b := 0; b < 8; b++ {
+			if in&(0x80>>b) != 0 {
+				hash ^= uint32(w >> (32 - b))
+			}
 		}
 	}
 	return hash
 }
 
 // RSS computes the standard 5-tuple (or 2-tuple for non-TCP/UDP) Toeplitz
-// RSS hash of a decoded packet.
-func RSS(in *pkt.Info) uint32 {
+// RSS hash of a decoded packet under the Microsoft reference key.
+func RSS(in *pkt.Info) uint32 { return RSSKey(DefaultToeplitzKey[:], in) }
+
+// RSSKey is RSS under an explicit Toeplitz key (e.g. SymmetricToeplitzKey
+// for direction-invariant steering). Non-IP packets hash to 0.
+func RSSKey(key []byte, in *pkt.Info) uint32 {
 	var buf [36]byte
 	n := 0
 	switch in.L3 {
@@ -75,7 +91,7 @@ func RSS(in *pkt.Info) uint32 {
 		binary.BigEndian.PutUint16(buf[n+2:], in.DstPort)
 		n += 4
 	}
-	return Toeplitz(DefaultToeplitzKey[:], buf[:n])
+	return Toeplitz(key, buf[:n])
 }
 
 // FlowID computes a symmetric exact-match flow identifier (FNV-1a over the

@@ -1,0 +1,46 @@
+package tenant_test
+
+import (
+	"fmt"
+	"testing"
+
+	"opendesc/internal/tenant"
+	"opendesc/internal/workload"
+)
+
+// BenchmarkRxPoll measures the single-threaded per-packet cost of the serving
+// plane: classify + steer + DMA on Rx, ring consume + accessor read on Poll.
+func BenchmarkRxPoll(b *testing.B) {
+	for _, tenants := range []int{1, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			specs := make([]tenant.Spec, tenants)
+			for i := range specs {
+				specs[i] = tenant.Spec{
+					Name:      fmt.Sprintf("t%02d", i),
+					Semantics: []string{"rss", "pkt_len"},
+				}
+			}
+			p, err := tenant.Open(tenant.Options{NIC: "mlx5", Cores: 1, RingEntries: 512}, specs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := workload.GenerateZipf(workload.ZipfSpec{
+				Packets: 512, Flows: 1 << 20, Skew: 1.1, Tenants: tenants, Seed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pk := tr.Packets[i%len(tr.Packets)]
+				if !p.Rx(pk) {
+					b.Fatal("ring full")
+				}
+				if n := p.PollCore(0, func(d tenant.Delivery) { d.Get("rss") }); n != 1 {
+					b.Fatalf("poll returned %d", n)
+				}
+			}
+		})
+	}
+}

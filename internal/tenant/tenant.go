@@ -1,0 +1,844 @@
+// Package tenant is the multi-tenant serving plane (S24): N tenants each
+// declare their own metadata intent, the compiler solves the joint Eq. 1
+// optimization over all of them at once (core.CompileJoint) to program ONE
+// device configuration, and traffic is sharded across a multi-queue device
+// by Toeplitz RSS into per-core poll loops with work stealing. Each tenant
+// reads metadata through its own accessor/shim split over the shared
+// completion layout, with exactly-once in-order delivery per queue.
+//
+// The plane is the operational shape the paper's conclusion points at: one
+// host, many applications, one evolvable metadata interface — a tenant can
+// renegotiate its intent live (Renegotiate / MaybeRenegotiate via the
+// evolve.JointPolicy) without its neighbors losing or reordering a single
+// packet.
+package tenant
+
+import (
+	"fmt"
+	"sync"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/evolve"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
+	"opendesc/internal/pkt"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
+)
+
+// Spec declares one tenant of the serving plane.
+type Spec struct {
+	// Name labels the tenant (must be unique within the plane).
+	Name string
+	// Semantics is the tenant's metadata intent.
+	Semantics []string
+	// Weight is the tenant's expected traffic share in the joint Eq. 1
+	// objective (zero means 1: equal shares).
+	Weight float64
+	// Port is the UDP destination port whose traffic belongs to the tenant
+	// (zero assigns Options.BasePort + tenant index).
+	Port uint16
+}
+
+// Options tunes the plane.
+type Options struct {
+	// NIC is the device model (default mlx5).
+	NIC string
+	// Cores is the number of device queues and per-core poll loops
+	// (default 4, max 64).
+	Cores int
+	// RingEntries is the per-queue completion ring depth.
+	RingEntries int
+	// Compile tunes the joint path selection and enumeration.
+	Compile core.CompileOptions
+	// Clock is the timeline delivery latency is measured on (nil selects
+	// the process wall clock; chaos runs inject a virtual clock).
+	Clock vclock.Clock
+	// Key is the Toeplitz steering key (default the symmetric key, so both
+	// directions of a flow land on the same core).
+	Key []byte
+	// BasePort is the default per-tenant port base (default 20000).
+	BasePort uint16
+	// Policy schedules measured-mix renegotiation (see MaybeRenegotiate).
+	Policy evolve.JointPolicy
+	// StealBatch bounds how many completions an idle core takes from the
+	// most loaded sibling per poll (default 16; negative disables
+	// stealing).
+	StealBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NIC == "" {
+		o.NIC = "mlx5"
+	}
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.Key == nil {
+		o.Key = softnic.SymmetricToeplitzKey[:]
+	}
+	if o.BasePort == 0 {
+		o.BasePort = 20000
+	}
+	if o.StealBatch == 0 {
+		o.StealBatch = 16
+	}
+	o.Policy = o.Policy.WithDefaults()
+	return o
+}
+
+// pendingPkt is one accepted packet awaiting its completion on a queue.
+type pendingPkt struct {
+	pkt    []byte
+	tenant int
+	ts     uint64 // Rx clock stamp (latency measurement)
+}
+
+// parkedDelivery is a completion drained during a layout switchover: the
+// record bytes are copied out of the ring and the old generation's runtime
+// is captured so the packet is still read under the layout it was DMAed
+// with. Parked deliveries drain first on the next poll, preserving order.
+type parkedDelivery struct {
+	pkt    []byte
+	cmpt   []byte
+	tenant int
+	rt     *codegen.Runtime
+	ts     uint64
+}
+
+// queueState is one RSS shard: a device queue, its pending FIFO, and its
+// parked switchover backlog. The mutex serializes the queue's producer
+// (Rx) and consumers (owner core + stealing cores) — the completion ring
+// itself is SPSC, so stealing must hold the queue lock.
+type queueState struct {
+	mu      sync.Mutex
+	dev     *nicsim.Device
+	pending []pendingPkt
+	parked  []parkedDelivery
+
+	polls     obs.Counter // PollCore invocations that drained this queue
+	delivered obs.Counter // deliveries consumed from this queue
+	stolen    obs.Counter // deliveries consumed by a non-owner core
+}
+
+// tenantState is one tenant's runtime view: its intent, its accessor/shim
+// split over the shared layout (swapped atomically under the plane lock on
+// renegotiation), and its delivery counters.
+type tenantState struct {
+	spec   Spec
+	intent *core.Intent
+	port   uint16
+	rt     *codegen.Runtime
+
+	accepted  obs.Counter
+	delivered obs.Counter
+	renegs    obs.Counter
+	lat       *obs.Histogram // Rx → deliver latency (plane clock)
+}
+
+// Plane is the multi-tenant serving plane.
+type Plane struct {
+	// mu is the config lock: datapath operations (Rx, PollCore) hold it for
+	// reading; renegotiation takes it exclusively, which quiesces every
+	// queue at once.
+	mu sync.RWMutex
+
+	model   *nic.Model
+	opts    Options
+	joint   *core.JointResult
+	gen     uint64
+	queues  []*queueState
+	tenants []*tenantState
+	byPort  map[uint16]int
+	clock   vclock.Clock
+	mix     *evolve.MixTracker
+
+	lastEval uint64 // aggregate deliveries at the last MaybeRenegotiate
+
+	renegs       obs.Counter // completed layout switchovers
+	fastRenegs   obs.Counter // accessor-only renegotiations (layout kept)
+	rollbacks    obs.Counter // switchovers reverted after an apply failure
+	drainedPkts  obs.Counter // completions parked across switchovers
+	softParked   obs.Counter // drain shortfalls re-read in software
+	steals       obs.Counter // stolen delivery batches
+	unclassified obs.Counter // packets matching no tenant port
+}
+
+// configRetries bounds ApplyConfig attempts per queue during a switchover,
+// matching the evolve engine's discipline.
+const configRetries = 4
+
+// Open compiles the tenants' joint intent, programs one device per core
+// with the shared winning configuration, and builds each tenant's accessor
+// runtime.
+func Open(opts Options, specs ...Spec) (*Plane, error) {
+	opts = opts.withDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("tenant: plane needs at least one tenant")
+	}
+	if opts.Cores < 1 || opts.Cores > 64 {
+		return nil, fmt.Errorf("tenant: core count %d out of [1,64]", opts.Cores)
+	}
+	m, err := nic.Load(opts.NIC)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		model:  m,
+		opts:   opts,
+		clock:  vclock.Or(opts.Clock),
+		byPort: make(map[uint16]int, len(specs)),
+	}
+	intents := make([][]semantics.Name, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("tenant: tenant %d has no name", i)
+		}
+		port := s.Port
+		if port == 0 {
+			port = opts.BasePort + uint16(i)
+			s.Port = port
+		}
+		if prev, dup := p.byPort[port]; dup {
+			return nil, fmt.Errorf("tenant: %s and %s share port %d", specs[prev].Name, s.Name, port)
+		}
+		intent, err := intentFor(s.Name, s.Semantics)
+		if err != nil {
+			return nil, err
+		}
+		p.byPort[port] = i
+		p.tenants = append(p.tenants, &tenantState{
+			spec:   s,
+			intent: intent,
+			port:   port,
+			lat:    obs.NewHistogram(),
+		})
+		intents[i] = intent.Req().Sorted()
+	}
+	for i := range p.tenants {
+		for j := i + 1; j < len(p.tenants); j++ {
+			if p.tenants[i].spec.Name == p.tenants[j].spec.Name {
+				return nil, fmt.Errorf("tenant: duplicate tenant name %q", p.tenants[i].spec.Name)
+			}
+		}
+	}
+	p.mix = evolve.NewMixTracker(intents)
+
+	jr, err := m.CompileJoint(p.jointIntents(), opts.Compile)
+	if err != nil {
+		return nil, err
+	}
+	for q := 0; q < opts.Cores; q++ {
+		dev, err := nicsim.New(m, nicsim.Config{
+			RingEntries: opts.RingEntries,
+			QueueID:     uint16(q),
+			Clock:       opts.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.ApplyConfig(jr.Config); err != nil {
+			return nil, err
+		}
+		p.queues = append(p.queues, &queueState{dev: dev})
+	}
+	p.install(jr)
+	return p, nil
+}
+
+func intentFor(name string, sems []string) (*core.Intent, error) {
+	names := make([]semantics.Name, len(sems))
+	for i, s := range sems {
+		names[i] = semantics.Name(s)
+	}
+	return core.IntentFromSemantics(name+"_intent", semantics.Default, names...)
+}
+
+// jointIntents snapshots the current tenant intents for a joint compile.
+func (p *Plane) jointIntents() []core.TenantIntent {
+	out := make([]core.TenantIntent, len(p.tenants))
+	for i, t := range p.tenants {
+		out[i] = core.TenantIntent{Tenant: t.spec.Name, Intent: t.intent, Weight: t.spec.Weight}
+	}
+	return out
+}
+
+// install swaps in a joint result's per-tenant runtimes. Caller holds the
+// write lock (or is Open, pre-publication).
+func (p *Plane) install(jr *core.JointResult) {
+	p.joint = jr
+	for i, t := range p.tenants {
+		t.rt = codegen.NewRuntime(jr.PerTenant[i], softnic.Funcs())
+	}
+	p.gen++
+}
+
+// Cores returns the number of queues / poll loops.
+func (p *Plane) Cores() int { return len(p.queues) }
+
+// Tenants returns the tenant names in index order.
+func (p *Plane) Tenants() []string {
+	out := make([]string, len(p.tenants))
+	for i, t := range p.tenants {
+		out[i] = t.spec.Name
+	}
+	return out
+}
+
+// Joint returns the current joint compilation.
+func (p *Plane) Joint() *core.JointResult {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.joint
+}
+
+// Generation returns the layout generation (bumped by every renegotiation).
+func (p *Plane) Generation() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.gen
+}
+
+// Steer computes the RSS shard a decoded packet lands on — exposed so
+// harnesses can model the plane's sharding decision.
+func (p *Plane) Steer(info *pkt.Info) int {
+	return int(softnic.RSSKey(p.opts.Key, info) % uint32(len(p.queues)))
+}
+
+// Rx accepts one packet from the wire: classify its tenant by destination
+// port, steer it onto an RSS shard, and DMA it into that queue's device. It
+// returns false when the packet matches no tenant or the shard's completion
+// ring is full.
+func (p *Plane) Rx(packet []byte) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var info pkt.Info
+	if err := pkt.Decode(packet, &info); err != nil {
+		p.unclassified.Inc()
+		return false
+	}
+	ti, ok := p.byPort[info.DstPort]
+	if !ok {
+		p.unclassified.Inc()
+		return false
+	}
+	q := p.Steer(&info)
+	qs := p.queues[q]
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if !qs.dev.RxPacket(packet) {
+		return false
+	}
+	qs.pending = append(qs.pending, pendingPkt{pkt: packet, tenant: ti, ts: p.clock.Now()})
+	p.tenants[ti].accepted.Inc()
+	return true
+}
+
+// Delivery is one packet handed to a tenant handler inside PollCore.
+type Delivery struct {
+	// Tenant / Name identify the owning tenant.
+	Tenant int
+	Name   string
+	// Queue is the RSS shard the packet arrived on; Core is the poll loop
+	// that delivered it. They differ exactly when the delivery was stolen.
+	Queue  int
+	Core   int
+	Stolen bool
+	Pkt    []byte
+
+	rt   *codegen.Runtime
+	cmpt []byte
+	note func(int, semantics.Name)
+}
+
+// Get reads one semantic for the delivered packet through the tenant's own
+// accessor split: a constant-time completion-record load when the shared
+// layout carries it, the tenant's SoftNIC shim otherwise. ok is false for
+// semantics outside the tenant's compiled intent.
+func (d *Delivery) Get(sem string) (uint64, bool) {
+	name := semantics.Name(sem)
+	if d.note != nil {
+		d.note(d.Tenant, name)
+	}
+	r := d.rt.Reader(name)
+	if r == nil || !r.Linked() {
+		return 0, false
+	}
+	return r.Read(d.cmpt, d.Pkt), true
+}
+
+// Hardware reports whether the tenant reads the semantic directly from the
+// completion record.
+func (d *Delivery) Hardware(sem string) bool {
+	r := d.rt.Reader(semantics.Name(sem))
+	return r != nil && r.Hardware
+}
+
+// Width returns the linked accessor's field width in bits (0 when the
+// semantic is not linked). A hardware field narrower than the semantic's
+// natural width truncates the value to the field — oracles comparing reads
+// against full-width ground truth must mask to this width.
+func (d *Delivery) Width(sem string) int {
+	r := d.rt.Reader(semantics.Name(sem))
+	if r == nil || !r.Linked() {
+		return 0
+	}
+	return r.WidthBits
+}
+
+// PollCore runs one iteration of core's poll loop: drain the own shard;
+// when it is empty, steal a bounded batch from the most loaded sibling.
+// Deliveries preserve each queue's FIFO order (parked switchover backlog
+// first, then ring completions) regardless of who consumes them.
+func (p *Plane) PollCore(core int, h func(Delivery)) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if core < 0 || core >= len(p.queues) {
+		return 0
+	}
+	n := p.pollQueue(core, core, -1, h)
+	if n == 0 && p.opts.StealBatch > 0 {
+		if victim := p.busiest(core); victim >= 0 {
+			n = p.pollQueue(core, victim, p.opts.StealBatch, h)
+			if n > 0 {
+				p.steals.Inc()
+			}
+		}
+	}
+	return n
+}
+
+// busiest picks the steal victim: the queue (≠ self) with the largest
+// backlog. Returns -1 when every sibling is idle.
+func (p *Plane) busiest(self int) int {
+	victim, most := -1, 0
+	for q := range p.queues {
+		if q == self {
+			continue
+		}
+		qs := p.queues[q]
+		qs.mu.Lock()
+		backlog := len(qs.pending) + len(qs.parked)
+		qs.mu.Unlock()
+		if backlog > most {
+			victim, most = q, backlog
+		}
+	}
+	return victim
+}
+
+// pollQueue drains up to limit deliveries (negative: unbounded) from queue
+// q on behalf of core. Caller holds p.mu.RLock.
+func (p *Plane) pollQueue(core, q, limit int, h func(Delivery)) int {
+	qs := p.queues[q]
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	n := 0
+	stolen := core != q
+
+	parked := 0
+	for parked < len(qs.parked) && (limit < 0 || n < limit) {
+		pd := qs.parked[parked]
+		p.deliver(core, q, pd.tenant, stolen, pd.pkt, pd.cmpt, pd.rt, pd.ts, h)
+		parked++
+		n++
+	}
+	if parked > 0 {
+		qs.parked = qs.parked[:copy(qs.parked, qs.parked[parked:])]
+	}
+
+	consumed := 0
+	for consumed < len(qs.pending) && (limit < 0 || n < limit) {
+		pe := qs.pending[consumed]
+		if !qs.dev.CmptRing.Consume(func(cmpt []byte) {
+			p.deliver(core, q, pe.tenant, stolen, pe.pkt, cmpt, p.tenants[pe.tenant].rt, pe.ts, h)
+		}) {
+			break
+		}
+		consumed++
+		n++
+	}
+	if consumed > 0 {
+		qs.pending = qs.pending[:copy(qs.pending, qs.pending[consumed:])]
+	}
+
+	if n > 0 {
+		qs.polls.Inc()
+		qs.delivered.Add(uint64(n))
+		if stolen {
+			qs.stolen.Add(uint64(n))
+		}
+	}
+	return n
+}
+
+// deliver invokes the handler and settles the tenant's accounting. Caller
+// holds the queue lock.
+func (p *Plane) deliver(core, q, ti int, stolen bool, pktB, cmpt []byte, rt *codegen.Runtime, rxTS uint64, h func(Delivery)) {
+	t := p.tenants[ti]
+	h(Delivery{
+		Tenant: ti, Name: t.spec.Name,
+		Queue: q, Core: core, Stolen: stolen,
+		Pkt: pktB, rt: rt, cmpt: cmpt, note: p.mix.NoteRead,
+	})
+	t.delivered.Inc()
+	p.mix.NoteDelivered(ti, 1)
+	if rxTS != 0 {
+		now := p.clock.Now()
+		if now > rxTS {
+			t.lat.Observe(now - rxTS)
+		} else {
+			t.lat.Observe(0)
+		}
+	}
+}
+
+// Drain polls every core round-robin until the plane is empty; used by
+// tests and the experiment tails. Returns total deliveries.
+func (p *Plane) Drain(h func(Delivery)) int {
+	total := 0
+	for {
+		n := 0
+		for c := range p.queues {
+			n += p.PollCore(c, h)
+		}
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// Pending reports packets accepted but not yet delivered (pending + parked
+// across all queues).
+func (p *Plane) Pending() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, qs := range p.queues {
+		qs.mu.Lock()
+		n += len(qs.pending) + len(qs.parked)
+		qs.mu.Unlock()
+	}
+	return n
+}
+
+// Renegotiate replaces one tenant's intent and re-solves the joint layout
+// for the whole plane. The switchover is loss-free for every tenant: the
+// plane quiesces (exclusive lock), drains all in-flight completions under
+// the OLD layout into parked deliveries, applies the new configuration to
+// every queue (bounded retries, rollback on failure), verifies the active
+// path, and only then swaps the accessor runtimes. When the joint optimum
+// keeps the same path, only the renegotiating tenant's accessor table is
+// swapped — neighbors are untouched by construction.
+func (p *Plane) Renegotiate(name string, sems ...string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ti := -1
+	for i, t := range p.tenants {
+		if t.spec.Name == name {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return fmt.Errorf("tenant: no tenant %q", name)
+	}
+	intent, err := intentFor(name, sems)
+	if err != nil {
+		return err
+	}
+	old := p.tenants[ti].intent
+	p.tenants[ti].intent = intent
+	jr, err := p.model.CompileJoint(p.jointIntents(), p.opts.Compile)
+	if err != nil {
+		p.tenants[ti].intent = old
+		return err
+	}
+	if err := p.switchTo(jr, ti); err != nil {
+		p.tenants[ti].intent = old
+		return err
+	}
+	p.tenants[ti].spec.Semantics = append([]string(nil), sems...)
+	p.mix.Retarget(ti, intent.Req().Sorted())
+	p.tenants[ti].renegs.Inc()
+	return nil
+}
+
+// MaybeRenegotiate is the measured-mix control-plane tick (the joint
+// analogue of the evolve engine's Interval re-solve): every
+// Policy.Interval aggregate deliveries it re-solves the joint objective
+// under each tenant's observed read frequencies and live traffic weights,
+// and switches the layout when a candidate clears the hysteresis. Call it
+// from a serving loop; it is cheap when not due.
+func (p *Plane) MaybeRenegotiate() (switched bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pol := p.opts.Policy
+	total := p.mix.TotalDelivered()
+	if !pol.Due(total, p.lastEval) {
+		return false, nil
+	}
+	if total-p.lastEval < uint64(pol.MinWindow) {
+		return false, nil
+	}
+	p.lastEval = total
+
+	base := semantics.RegistryCosts(semantics.Default)
+	weights := p.mix.Weights()
+	tenants := make([]core.TenantIntent, len(p.tenants))
+	for i, t := range p.tenants {
+		mix, _ := p.mix.Window(i)
+		tenants[i] = core.TenantIntent{
+			Tenant: t.spec.Name,
+			Intent: t.intent,
+			Weight: weights[i],
+			Costs:  evolve.WeightedMixCosts(t.intent.CostModel(base), mix),
+		}
+	}
+	jr, err := p.model.CompileJoint(tenants, p.opts.Compile)
+	if err != nil {
+		return false, err
+	}
+	if jr.Selected.Path.ID == p.joint.Selected.Path.ID {
+		return false, nil
+	}
+	var activeTotal float64
+	for _, js := range jr.Scored {
+		if js.Path.ID == p.joint.Selected.Path.ID {
+			activeTotal = js.Total
+			break
+		}
+	}
+	if !pol.Improves(activeTotal, jr.Selected.Total) {
+		return false, nil
+	}
+	if err := p.switchTo(jr, -1); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// switchTo executes the switchover to a new joint result. Caller holds the
+// write lock (all queues quiesced). fastTenant ≥ 0 allows the accessor-only
+// fast path when the selected path is unchanged: only that tenant's runtime
+// is swapped (the shared layout, and therefore every neighbor's view, is
+// bit-identical).
+func (p *Plane) switchTo(jr *core.JointResult, fastTenant int) error {
+	if jr.Selected.Path.ID == p.joint.Selected.Path.ID && fastTenant >= 0 {
+		p.joint = jr
+		p.tenants[fastTenant].rt = codegen.NewRuntime(jr.PerTenant[fastTenant], softnic.Funcs())
+		p.gen++
+		p.fastRenegs.Inc()
+		return nil
+	}
+
+	// Drain every queue's in-flight completions under the old layout. The
+	// record bytes are copied out of the ring (the ring slot is recycled)
+	// and parked with the old runtime, so later polls still read them under
+	// the layout they were DMAed with.
+	for q, qs := range p.queues {
+		for _, pe := range qs.pending {
+			ok := qs.dev.CmptRing.Consume(func(cmpt []byte) {
+				qs.parked = append(qs.parked, parkedDelivery{
+					pkt: pe.pkt, cmpt: append([]byte(nil), cmpt...),
+					tenant: pe.tenant, rt: p.tenants[pe.tenant].rt, ts: pe.ts,
+				})
+			})
+			if !ok {
+				// Shortfall (cannot happen on a healthy device): fall back
+				// to an all-software read of the packet bytes.
+				qs.parked = append(qs.parked, parkedDelivery{
+					pkt: pe.pkt, tenant: pe.tenant,
+					rt: codegen.NewSoftRuntime(p.joint.PerTenant[pe.tenant], softnic.Funcs()),
+					ts: pe.ts,
+				})
+				p.softParked.Inc()
+			}
+			p.drainedPkts.Inc()
+		}
+		qs.pending = qs.pending[:0]
+		_ = q
+	}
+
+	// Apply the new configuration to every queue; roll every queue back to
+	// the old configuration if any apply fails.
+	applied := 0
+	var applyErr error
+	for _, qs := range p.queues {
+		if applyErr = applyWithRetries(qs.dev, jr.Config); applyErr != nil {
+			break
+		}
+		applied++
+	}
+	if applyErr == nil {
+		for _, qs := range p.queues {
+			if ap, err := qs.dev.ActivePath(); err != nil || ap.ID != jr.Selected.Path.ID {
+				applyErr = fmt.Errorf("tenant: switchover verification failed (active path %v, err %v)", ap, err)
+				break
+			}
+		}
+	}
+	if applyErr != nil {
+		for i := 0; i < applied; i++ {
+			if err := applyWithRetries(p.queues[i].dev, p.joint.Config); err != nil {
+				return fmt.Errorf("tenant: switchover failed and rollback failed on queue %d: %v (original: %w)", i, err, applyErr)
+			}
+		}
+		p.rollbacks.Inc()
+		return applyErr
+	}
+
+	p.install(jr)
+	p.renegs.Inc()
+	return nil
+}
+
+func applyWithRetries(dev *nicsim.Device, cfg []core.Constraint) error {
+	var err error
+	for i := 0; i < configRetries; i++ {
+		if err = dev.ApplyConfig(cfg); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// TenantStats is one tenant's delivery snapshot.
+type TenantStats struct {
+	Name      string
+	Port      uint16
+	Accepted  uint64
+	Delivered uint64
+	Renegs    uint64
+	// P50/P99 are Rx→deliver latency quantiles on the plane clock (ns).
+	P50, P99 float64
+}
+
+// CoreStats is one queue/poll-loop snapshot.
+type CoreStats struct {
+	Polls     uint64
+	Delivered uint64
+	Stolen    uint64
+}
+
+// Stats is a point-in-time snapshot of the plane.
+type Stats struct {
+	Generation   uint64
+	Renegs       uint64 // layout switchovers
+	FastRenegs   uint64 // accessor-only renegotiations
+	Rollbacks    uint64
+	Drained      uint64
+	SoftParked   uint64
+	Steals       uint64
+	Unclassified uint64
+	Tenants      []TenantStats
+	Cores        []CoreStats
+}
+
+// Stats snapshots the plane's counters.
+func (p *Plane) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := Stats{
+		Generation:   p.gen,
+		Renegs:       p.renegs.Load(),
+		FastRenegs:   p.fastRenegs.Load(),
+		Rollbacks:    p.rollbacks.Load(),
+		Drained:      p.drainedPkts.Load(),
+		SoftParked:   p.softParked.Load(),
+		Steals:       p.steals.Load(),
+		Unclassified: p.unclassified.Load(),
+	}
+	for _, t := range p.tenants {
+		snap := t.lat.Snapshot()
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:      t.spec.Name,
+			Port:      t.port,
+			Accepted:  t.accepted.Load(),
+			Delivered: t.delivered.Load(),
+			Renegs:    t.renegs.Load(),
+			P50:       float64(snap.Quantile(0.50)),
+			P99:       float64(snap.Quantile(0.99)),
+		})
+	}
+	for _, qs := range p.queues {
+		st.Cores = append(st.Cores, CoreStats{
+			Polls:     qs.polls.Load(),
+			Delivered: qs.delivered.Load(),
+			Stolen:    qs.stolen.Load(),
+		})
+	}
+	return st
+}
+
+// Fairness returns Jain's fairness index over per-tenant SERVICE ratios
+// (delivered/accepted): 1.0 means every tenant's admitted traffic was served
+// in full proportion; 1/N means one tenant got service while the rest
+// starved. Raw demand skew (tenants offering different loads) does not lower
+// it — what the plane owes tenants is proportional service, not equal
+// traffic. A tenant that offered nothing counts as fully served.
+func (p *Plane) Fairness() float64 {
+	st := p.Stats()
+	xs := make([]float64, len(st.Tenants))
+	for i, t := range st.Tenants {
+		if t.Accepted == 0 {
+			xs[i] = 1
+			continue
+		}
+		xs[i] = float64(t.Delivered) / float64(t.Accepted)
+	}
+	return JainFairness(xs)
+}
+
+// JainFairness computes Jain's index (Σx)² / (n·Σx²) over the shares.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// RegisterMetrics exposes the plane on an obs registry: per-tenant series
+// under tenant="name" labels and per-queue series under queue="N" labels,
+// each in its own namespace view so many planes (or planes plus drivers)
+// can share one stats endpoint.
+func (p *Plane) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	base := reg.WithLabels(labels...)
+	base.GaugeFunc("opendesc_tenant_generation", "joint layout generation", func() int64 {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		return int64(p.gen)
+	})
+	base.AttachCounter("opendesc_tenant_renegotiations_total", "completed layout switchovers", &p.renegs)
+	base.AttachCounter("opendesc_tenant_fast_renegotiations_total", "accessor-only renegotiations", &p.fastRenegs)
+	base.AttachCounter("opendesc_tenant_rollbacks_total", "switchovers rolled back", &p.rollbacks)
+	base.AttachCounter("opendesc_tenant_drained_total", "completions parked across switchovers", &p.drainedPkts)
+	base.AttachCounter("opendesc_tenant_steals_total", "stolen delivery batches", &p.steals)
+	base.AttachCounter("opendesc_tenant_unclassified_total", "packets matching no tenant port", &p.unclassified)
+	for _, t := range p.tenants {
+		tr := base.WithLabels(obs.L("tenant", t.spec.Name))
+		tr.AttachCounter("opendesc_tenant_rx_accepted_total", "packets accepted for the tenant", &t.accepted)
+		tr.AttachCounter("opendesc_tenant_delivered_total", "packets delivered to the tenant", &t.delivered)
+		tr.AttachHistogram("opendesc_tenant_delivery_latency_ns", "Rx to delivery latency", t.lat)
+	}
+	for q, qs := range p.queues {
+		qr := base.WithLabels(obs.L("queue", fmt.Sprintf("%d", q)))
+		qs.dev.RegisterMetrics(qr)
+		qr.AttachCounter("opendesc_tenant_queue_delivered_total", "deliveries consumed from the queue", &qs.delivered)
+		qr.AttachCounter("opendesc_tenant_queue_stolen_total", "deliveries consumed by a non-owner core", &qs.stolen)
+	}
+}
