@@ -13,6 +13,8 @@
 //	nicsim -nic e1000e -req rss,vlan,pkt_len \
 //	       -faults corrupt=1e-3,hang=2@5000 -seed 7       # hardened driver under injection
 //	nicsim -nic mlx5 -tenants 8 -packets 4096             # multi-tenant serving plane
+//	nicsim -fleet 13                                      # fleet control plane: inventory,
+//	                                                      # canary rollout, auto-rollback
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. corrupt=1e-3,drop=1e-4,hang=2@5000: run the hardened driver under injection and report detection/recovery")
 		seed      = flag.Uint64("seed", 1, "fault-injection PRNG seed (with -faults)")
 		tenants   = flag.Int("tenants", 0, "run the multi-tenant serving-plane demo with this many tenants (jointly-compiled intents, RSS sharding, mid-run renegotiation)")
+		fleetN    = flag.Int("fleet", 0, "run the fleet control-plane demo with this many hosts (describe inventory, canary rollout, automatic rollback)")
 	)
 	flag.StringVar(&flightTrace, "flight", "", "write the flight-recorder Chrome trace (Perfetto-loadable JSON) to this file on exit")
 	flag.StringVar(&flightDump, "flight-dump", "", "directory for automatic flight-recorder postmortem dumps (.odfl, decode with 'opendesc flight')")
@@ -60,6 +63,10 @@ func main() {
 		if s = strings.TrimSpace(s); s != "" {
 			names = append(names, semantics.Name(s))
 		}
+	}
+	if *fleetN > 0 {
+		runFleet(*fleetN, *packets, *stats)
+		return
 	}
 	if *tenants > 0 {
 		runTenants(*nicName, *tenants, *packets, *statsAddr, *stats)

@@ -14,6 +14,8 @@
 //	opendesc chaos -cases 1000           # deterministic whole-stack chaos sweep
 //	opendesc chaos -seed 7 -bug -shrink  # catch the canary bug, emit a minimal reproducer
 //	opendesc chaos -replay repro.chaos   # replay a shrunk reproducer spec
+//	opendesc describe -nic mlx5          # emit the fleet discovery document
+//	opendesc describe -check desc.json   # validate one as the controller would
 //
 // The -nic flag accepts a bundled model name (see -list) or a path to a .p4
 // interface description. The intent comes from -intent (a P4 file with a
@@ -49,6 +51,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "describe" {
+		if err := runDescribe(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

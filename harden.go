@@ -16,6 +16,7 @@ import (
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
 	"opendesc/internal/obs/flight"
+	"opendesc/internal/retry"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 	"opendesc/internal/vclock"
@@ -87,8 +88,12 @@ type hardening struct {
 
 	degraded    atomic.Bool
 	faultStreak int
-	backoff     int // current reset backoff, in driver operations
-	untilReset  int
+	// resetBo schedules reset attempts (1, 2, 4, … operations, capped at
+	// MaxResetBackoff); curBackoff is the schedule value behind untilReset,
+	// kept for flight-recorder visibility.
+	resetBo    *retry.Backoff
+	curBackoff uint64
+	untilReset int
 
 	// degradedSince stamps (on the injected clock) when degraded mode was
 	// entered; degradedNs accumulates completed residencies. Atomic because
@@ -165,7 +170,10 @@ func (d *Driver) Harden(opts HardenOptions) error {
 		opts:      opts,
 		validator: v,
 		softRT:    codegen.NewSoftRuntime(d.Result, soft),
-		backoff:   1,
+		resetBo: retry.Policy{
+			BaseDelay: 1,
+			MaxDelay:  uint64(opts.MaxResetBackoff),
+		}.NewBackoff(),
 	}
 	return nil
 }
@@ -226,8 +234,9 @@ func (h *hardening) enterDegraded(d *Driver) {
 	h.degraded.Store(true)
 	h.degradedEnters.Inc()
 	h.degradedSince.Store(h.opts.Clock.Now())
-	h.backoff = 1
-	h.untilReset = 1
+	h.resetBo.Reset()
+	h.curBackoff = h.resetBo.Next() // 1: first reset attempt is immediate
+	h.untilReset = int(h.curBackoff)
 	// The watchdog tripping is exactly the moment a postmortem is for: the
 	// events leading up to the fault streak are still in the ring.
 	d.fq.Record(flight.EvDegrade, uint32(h.degradedEnters.Load()), uint64(h.faultStreak), 0)
@@ -244,7 +253,7 @@ func (h *hardening) tickRecovery(d *Driver) {
 		return
 	}
 	h.resetAttempts.Inc()
-	d.fq.Record(flight.EvResetAttempt, uint32(h.resetAttempts.Load()), uint64(h.backoff), 0)
+	d.fq.Record(flight.EvResetAttempt, uint32(h.resetAttempts.Load()), h.curBackoff, 0)
 	if err := d.dev.Reset(); err != nil {
 		h.bumpBackoff()
 		return
@@ -256,15 +265,11 @@ func (h *hardening) tickRecovery(d *Driver) {
 	for i := range d.pending {
 		d.pending[i].soft = true
 	}
-	applied := false
-	for i := 0; i < h.opts.ApplyRetries; i++ {
-		if err := d.dev.ApplyConfig(d.Result.Config); err == nil {
-			applied = true
-			break
-		}
-		h.configRetries.Inc()
-	}
-	if !applied {
+	err := retry.Policy{
+		Attempts: h.opts.ApplyRetries,
+		OnError:  func(int, error) { h.configRetries.Inc() },
+	}.Do(func() error { return d.dev.ApplyConfig(d.Result.Config) })
+	if err != nil {
 		h.bumpBackoff()
 		return
 	}
@@ -276,7 +281,7 @@ func (h *hardening) tickRecovery(d *Driver) {
 	h.degraded.Store(false)
 	h.degradedNs.Add(h.opts.Clock.Now() - h.degradedSince.Load())
 	h.faultStreak = 0
-	h.backoff = 1
+	h.resetBo.Reset()
 	h.restores.Inc()
 	d.fq.Record(flight.EvRestore, uint32(h.restores.Load()), h.resetAttempts.Load(), 0)
 	// Snapshot the whole degrade→reset→restore arc while it is still in the
@@ -285,11 +290,8 @@ func (h *hardening) tickRecovery(d *Driver) {
 }
 
 func (h *hardening) bumpBackoff() {
-	h.backoff *= 2
-	if h.backoff > h.opts.MaxResetBackoff {
-		h.backoff = h.opts.MaxResetBackoff
-	}
-	h.untilReset = h.backoff
+	h.curBackoff = h.resetBo.Next()
+	h.untilReset = int(h.curBackoff)
 }
 
 // noteDelivered records a delivered packet for stale-record classification.

@@ -62,13 +62,14 @@ const (
 	baselineE16Packets = 20000
 	baselineE17Packets = 4096
 	baselineE19Packets = 4096
+	baselineE20Packets = 2048
 )
 
-// BaselineExperiments returns the six artifact-emitting experiments at
+// BaselineExperiments returns the seven artifact-emitting experiments at
 // their pinned baseline parameters: the E4 datapath comparison, the E11
 // interface-model microbench, E15 live renegotiation, the E16 fault
-// matrix, the E17 flight-recorder overhead run, and the E19 multi-tenant
-// serving plane.
+// matrix, the E17 flight-recorder overhead run, the E19 multi-tenant
+// serving plane, and the E20 fleet control plane.
 func BaselineExperiments() []BaselineExp {
 	return []BaselineExp{
 		{"e4", "e4_datapath", func() (*Table, error) { return E4Datapath(baselinePackets, baselineMinDur) }},
@@ -77,5 +78,6 @@ func BaselineExperiments() []BaselineExp {
 		{"e16", "e16_faults", func() (*Table, error) { return E16Faults(baselineE16Packets) }},
 		{"e17", "e17_flight", func() (*Table, error) { return E17Flight(baselineE17Packets, "") }},
 		{"e19", "e19_tenants", func() (*Table, error) { return E19Tenants(baselineE19Packets) }},
+		{"e20", "e20_fleet", func() (*Table, error) { return E20Fleet(baselineE20Packets) }},
 	}
 }

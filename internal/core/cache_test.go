@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"opendesc/internal/semantics"
+)
+
+// TestCacheSingleflight: many goroutines requesting the same key must
+// trigger exactly one compile; everyone shares the result; the counters
+// reconcile with the call count. Run under -race this is also the cache's
+// data-race test.
+func TestCacheSingleflight(t *testing.T) {
+	const callers = 32
+	c := NewCompileCache(8)
+	key := CacheKey{Digest: "d1", Intent: "i1"}
+
+	var compiles atomic.Uint64
+	gate := make(chan struct{})
+	want := &Result{NIC: "fake"}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Get(key, func() (*Result, error) {
+				compiles.Add(1)
+				<-gate // hold the flight open so arrivals pile up on it
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("compile ran %d times for one key, want exactly 1 (singleflight)", n)
+	}
+	for i, res := range results {
+		if res != want {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	st := c.Stats()
+	if st.Gets != callers {
+		t.Fatalf("gets = %d, want %d", st.Gets, callers)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Misses+st.Coalesced != st.Gets {
+		t.Fatalf("counters do not reconcile: %+v", st)
+	}
+
+	// A fresh Get is now a plain hit.
+	if _, err := c.Get(key, func() (*Result, error) {
+		t.Fatal("hit must not recompile")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != st.Gets-1-st.Coalesced {
+		t.Fatalf("post-hit counters do not reconcile: %+v", st)
+	}
+}
+
+// TestCacheConcurrentKeys hammers a small cache with many goroutines over
+// more keys than capacity (forcing evictions under contention) and checks
+// the invariant Gets = Hits + Misses + Coalesced at the end.
+func TestCacheConcurrentKeys(t *testing.T) {
+	c := NewCompileCache(4)
+	var compiles atomic.Uint64
+	var wg sync.WaitGroup
+	const callers, rounds = 16, 64
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := CacheKey{Digest: fmt.Sprintf("d%d", (g+i)%7), Intent: "i"}
+				res, err := c.Get(key, func() (*Result, error) {
+					compiles.Add(1)
+					return &Result{NIC: key.Digest}, nil
+				})
+				if err != nil || res.NIC != key.Digest {
+					t.Errorf("got %v, %v for %s", res, err, key.Digest)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Gets != callers*rounds {
+		t.Fatalf("gets = %d, want %d", st.Gets, callers*rounds)
+	}
+	if st.Hits+st.Misses+st.Coalesced != st.Gets {
+		t.Fatalf("counters do not reconcile: %+v", st)
+	}
+	if got := compiles.Load(); got != st.Misses {
+		t.Fatalf("compile ran %d times, misses = %d — a miss must mean exactly one compile", got, st.Misses)
+	}
+	if st.Size > 4 {
+		t.Fatalf("size = %d exceeds capacity 4", st.Size)
+	}
+}
+
+// TestCacheLRUEviction: the least-recently-used entry goes first, and a
+// re-request of an evicted key recompiles.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCompileCache(2)
+	compiled := map[string]int{}
+	get := func(d string) {
+		t.Helper()
+		if _, err := c.Get(CacheKey{Digest: d}, func() (*Result, error) {
+			compiled[d]++
+			return &Result{NIC: d}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now LRU
+	get("c") // evicts b
+	get("a") // still resident
+	get("b") // recompiles
+	st := c.Stats()
+	if st.Evictions != 2 { // b evicted by c, then a or c evicted by b's return
+		t.Fatalf("evictions = %d, want 2: %+v", st.Evictions, st)
+	}
+	if compiled["a"] != 1 || compiled["b"] != 2 || compiled["c"] != 1 {
+		t.Fatalf("compile counts = %v, want a:1 b:2 c:1", compiled)
+	}
+	if st.Hits+st.Misses+st.Coalesced != st.Gets {
+		t.Fatalf("counters do not reconcile: %+v", st)
+	}
+}
+
+// TestCacheErrorNotCached: a failed compile is retried by the next Get and
+// every concurrent waiter observes the same error.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCompileCache(2)
+	key := CacheKey{Digest: "bad"}
+	boom := errors.New("unsatisfiable")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(key, func() (*Result, error) {
+			calls++
+			return nil, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want the compile error", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("compile ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if st := c.Stats(); st.Size != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want two misses and an empty cache", st)
+	}
+}
+
+// TestSourceDigestAndIntentKey: the content address separates sources, and
+// the intent key is canonical under field order but sensitive to the
+// layout-relevant compile options.
+func TestSourceDigestAndIntentKey(t *testing.T) {
+	if SourceDigest("a") == SourceDigest("b") {
+		t.Fatal("distinct sources must have distinct digests")
+	}
+	if len(SourceDigest("a")) != 64 {
+		t.Fatalf("digest length = %d, want 64 hex chars", len(SourceDigest("a")))
+	}
+
+	i1, err := IntentFromSemantics("x", semantics.Default, semantics.RSS, semantics.PktLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := IntentFromSemantics("x", semantics.Default, semantics.PktLen, semantics.RSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IntentKey(i1, CompileOptions{}) != IntentKey(i2, CompileOptions{}) {
+		t.Fatal("intent key must be canonical under field order")
+	}
+	if IntentKey(i1, CompileOptions{}) == IntentKey(i1, CompileOptions{Select: SelectOptions{Alpha: 9}}) {
+		t.Fatal("alpha changes the selected layout and must change the key")
+	}
+	k := CompileKey(SourceDigest("src"), i1, CompileOptions{})
+	if k.Digest != SourceDigest("src") || k.Intent == "" {
+		t.Fatalf("CompileKey = %+v", k)
+	}
+}

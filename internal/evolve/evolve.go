@@ -36,6 +36,7 @@ import (
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
 	"opendesc/internal/obs/flight"
+	"opendesc/internal/retry"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 	"opendesc/internal/vclock"
@@ -115,13 +116,6 @@ func (g *generation) soft() *codegen.Runtime {
 	}
 	return g.softRT
 }
-
-// configRetries bounds the ApplyConfig attempts during a switchover apply
-// and during a rollback: a faulty control channel may NAK individual
-// register-write bursts, and a bounded retry turns a transient NAK into a
-// non-event instead of a rollback (or, on the rollback path, instead of a
-// stranded device).
-const configRetries = 4
 
 // pending is one packet received but not yet delivered: the epoch tag
 // records which generation's layout its completion was serialized under.
@@ -541,18 +535,14 @@ func (e *Engine) switchover(next *core.Result) error {
 	e.packetsDrained.Add(uint64(drained))
 	e.fq.Record(flight.EvDrain, uint32(oldGen), uint64(drained), oldGen)
 
-	// apply pushes a register-write burst with bounded retries: a faulty
+	// apply pushes a register-write burst with bounded retries (the shared
+	// retry discipline, defaults matching the old ×4 schedule): a faulty
 	// control channel may NAK individual bursts, and ApplyConfig fails
 	// atomically, so retrying is always safe.
 	apply := func(cfg []core.Constraint) error {
-		var err error
-		for i := 0; i < configRetries; i++ {
-			if err = e.dev.ApplyConfig(cfg); err == nil {
-				return nil
-			}
-			e.applyRetries.Inc()
-		}
-		return err
+		return retry.Policy{
+			OnError: func(int, error) { e.applyRetries.Inc() },
+		}.Do(func() error { return e.dev.ApplyConfig(cfg) })
 	}
 
 	rollback := func(cause error) error {

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/semantics"
+)
+
+// TestDescribeRoundTrip: every bundled NIC's describe answer survives the
+// wire (encode → validate) with matching digest and capability model, and
+// the validated description compiles the fleet intent.
+func TestDescribeRoundTrip(t *testing.T) {
+	intent, err := core.IntentFromSemantics("fleet", semantics.Default, semantics.RSS, semantics.PktLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nic.All() {
+		d, err := Describe(m, "host-"+m.Name)
+		if err != nil {
+			t.Fatalf("%s: describe: %v", m.Name, err)
+		}
+		raw, err := d.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Name, err)
+		}
+		v, err := Validate(raw)
+		if err != nil {
+			t.Fatalf("%s: validate rejected an honest description: %v", m.Name, err)
+		}
+		if v.Digest != core.SourceDigest(m.Source) {
+			t.Fatalf("%s: digest mismatch after round trip", m.Name)
+		}
+		prov, _ := m.ProvidableSet()
+		if !v.Providable.Equal(prov) {
+			t.Fatalf("%s: providable set changed on the wire: %v vs %v", m.Name, v.Providable, prov)
+		}
+		res, err := v.Compile(intent, core.CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: compile from validated description: %v", m.Name, err)
+		}
+		want, err := m.Compile(intent, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Selected.Path.ID != want.Selected.Path.ID {
+			t.Fatalf("%s: description compile selected path %d, model compile %d",
+				m.Name, res.Selected.Path.ID, want.Selected.Path.ID)
+		}
+	}
+}
+
+// TestValidateQuarantineReasons: each class of untrusted-input failure is
+// rejected with an operator-legible reason.
+func TestValidateQuarantineReasons(t *testing.T) {
+	m := nic.MustLoad("e1000e")
+	honest, err := Describe(m, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(*Description)) []byte {
+		d := *honest
+		fn(&d)
+		raw, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	cases := []struct {
+		name   string
+		raw    []byte
+		reason string
+	}{
+		{"malformed json", []byte("{nope"), "malformed JSON"},
+		{"wrong schema", mutate(func(d *Description) { d.Schema = "opendesc-describe/v9" }), "schema"},
+		{"missing host", mutate(func(d *Description) { d.Host = "" }), "missing host"},
+		{"digest lie", mutate(func(d *Description) { d.Digest = strings.Repeat("0", 64) }), "digest mismatch"},
+		{"source tamper", mutate(func(d *Description) { d.P4 = d.P4 + "\n// trailing" }), "digest mismatch"},
+		{"capability overclaim", mutate(func(d *Description) {
+			d.Capabilities.Semantics = append(d.Capabilities.Semantics, "payload_hash")
+		}), "capability claim mismatch"},
+		{"path overclaim", mutate(func(d *Description) { d.Capabilities.Paths++ }), "capability claim mismatch"},
+		{"size lie", mutate(func(d *Description) { d.Capabilities.CompletionBytes = []int{1} }), "capability claim mismatch"},
+		{"broken p4", mutate(func(d *Description) {
+			d.P4 = "parser Broken {"
+			d.Digest = core.SourceDigest(d.P4)
+		}), "parse"},
+		{"oversized", append([]byte(`{"p4":"`), append(make([]byte, maxDescriptionBytes), []byte(`"}`)...)...), "exceeds"},
+	}
+	for _, c := range cases {
+		if _, err := Validate(c.raw); err == nil {
+			t.Errorf("%s: accepted, want rejection", c.name)
+		} else if !strings.Contains(err.Error(), c.reason) {
+			t.Errorf("%s: reason %q does not mention %q", c.name, err, c.reason)
+		}
+	}
+}
+
+// TestValidateIsStructural confirms the JSON layer itself is exercised
+// (not just Go struct round trips): a hand-built document validates.
+func TestValidateHandBuiltDocument(t *testing.T) {
+	m := nic.MustLoad("e1000")
+	d, err := Describe(m, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(d) // compact form, different bytes than Encode
+	if _, err := Validate(raw); err != nil {
+		t.Fatalf("compact JSON rejected: %v", err)
+	}
+}
+
+// TestSwapSemantics: the tamper helper produces a structurally identical,
+// validation-clean description whose fields lie about their meaning — the
+// attack only a canary bake can catch.
+func TestSwapSemantics(t *testing.T) {
+	m := nic.MustLoad("e1000e")
+	bad, err := SwapSemantics(m.Source, "ip_checksum", "pkt_len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad == m.Source {
+		t.Fatal("swap changed nothing")
+	}
+	v, err := ValidateSource(m.Name, bad)
+	if err != nil {
+		t.Fatalf("structural validation must pass on the tampered source (that is the point): %v", err)
+	}
+	honest, err := ValidateSource(m.Name, m.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Paths) != len(honest.Paths) {
+		t.Fatalf("tamper changed path structure: %d vs %d", len(v.Paths), len(honest.Paths))
+	}
+	if !v.Providable.Equal(honest.Providable) {
+		t.Fatalf("tamper changed providable set: %v vs %v", v.Providable, honest.Providable)
+	}
+	if _, err := SwapSemantics(m.Source, "rss", "no_such_semantic"); err == nil {
+		t.Fatal("swap of an absent annotation must fail")
+	}
+}

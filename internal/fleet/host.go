@@ -1,0 +1,437 @@
+package fleet
+
+import (
+	"fmt"
+
+	"opendesc/internal/codegen"
+	"opendesc/internal/core"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/retry"
+	"opendesc/internal/semantics"
+	"opendesc/internal/softnic"
+	"opendesc/internal/vclock"
+)
+
+// HostOptions tunes one simulated fleet host.
+type HostOptions struct {
+	// RingEntries sizes the completion ring (default 256).
+	RingEntries int
+	// Clock is the host's timeline (trial leases are measured on it);
+	// nil selects the wall clock.
+	Clock vclock.Clock
+	// BootSemantics is the intent the host self-provisions at boot, before
+	// any controller has reached it (default pkt_len — satisfiable on every
+	// description). Whatever the controller later provisions or promotes
+	// replaces it as the last-known-good layout.
+	BootSemantics []string
+}
+
+func (o HostOptions) withDefaults() HostOptions {
+	if o.RingEntries <= 0 {
+		o.RingEntries = 256
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.Wall()
+	}
+	if len(o.BootSemantics) == 0 {
+		o.BootSemantics = []string{"pkt_len"}
+	}
+	return o
+}
+
+// goldenFuncs is the per-semantic ground truth the embedded oracle can
+// check a delivery against: pure functions of the packet bytes (the same
+// S23 golden-metadata family the chaos harness uses). Environment-derived
+// semantics (timestamp, queue id, mark) are excluded — their truth lives
+// in the device, not the packet.
+func goldenFuncs() map[semantics.Name]codegen.SoftFunc {
+	funcs := softnic.Funcs()
+	g := map[semantics.Name]codegen.SoftFunc{
+		semantics.PktLen: func(p []byte) uint64 { return uint64(len(p)) },
+	}
+	for _, s := range []semantics.Name{
+		semantics.RSS, semantics.VLAN, semantics.FlowID, semantics.TunnelID,
+		semantics.IPChecksum, semantics.PType,
+	} {
+		if f, ok := funcs[s]; ok {
+			g[s] = f
+		}
+	}
+	return g
+}
+
+// goldenCheck is one oracle probe compiled into a layout: read the
+// semantic through the layout's accessor and compare against ground truth
+// under the accessor's width.
+type goldenCheck struct {
+	sem  semantics.Name
+	fn   codegen.SoftFunc
+	mask uint64
+}
+
+// layout is one installed interface generation: the compiled result, its
+// executable accessors, and the oracle probes derived from both.
+type layout struct {
+	gen    uint64
+	res    *core.Result
+	rt     *codegen.Runtime
+	checks []goldenCheck
+}
+
+func newLayout(gen uint64, res *core.Result, golden map[semantics.Name]codegen.SoftFunc) *layout {
+	l := &layout{gen: gen, res: res, rt: codegen.NewRuntime(res, softnic.Funcs())}
+	for _, a := range res.Accessors {
+		fn, ok := golden[a.Semantic]
+		if !ok {
+			continue
+		}
+		mask := ^uint64(0)
+		if a.Hardware && a.WidthBits > 0 && a.WidthBits < 64 {
+			mask = (1 << a.WidthBits) - 1
+		}
+		l.checks = append(l.checks, goldenCheck{sem: a.Semantic, fn: fn, mask: mask})
+	}
+	return l
+}
+
+// parkedPkt is a completion consumed during a drain, held for delivery
+// under the layout it was serialized for.
+type parkedPkt struct {
+	pkt  []byte
+	cmpt []byte
+	lay  *layout
+}
+
+// Health is the host's self-reported canary health: the S23 invariant
+// oracles, embedded in the datapath, are the health check.
+type Health struct {
+	// Gen is the serving generation; Trial reports an uncommitted trial.
+	Gen   uint64
+	Trial bool
+	// Accepted/Delivered are cumulative exactly-once conservation counts.
+	Accepted  uint64
+	Delivered uint64
+	// Garbage counts golden-metadata oracle violations (reads that
+	// disagreed with the SoftNIC ground truth) and OrderViolations
+	// exactly-once/FIFO breaks. Detail describes the first violation.
+	Garbage         uint64
+	OrderViolations uint64
+	Detail          string
+	// LeaseReverts counts trials the host unilaterally rolled back to its
+	// last-known-good layout after the controller went silent.
+	LeaseReverts uint64
+}
+
+// Host is one simulated fleet member: a NIC device, a serving layout, and
+// the control surface a controller drives over its Link. Hosts are
+// single-threaded by the chaos discipline (the scheduler interleaves,
+// never overlaps, operations); the data plane (Rx/Poll) works regardless
+// of control-plane reachability — a partitioned host keeps serving on its
+// last-known-good layout.
+type Host struct {
+	Name  string
+	Model *nic.Model
+
+	dev    *nicsim.Device
+	clk    vclock.Clock
+	golden map[semantics.Name]codegen.SoftFunc
+
+	// lkg is the last-known-good layout: the newest committed generation.
+	// trial is an uncommitted rollout generation being baked; it serves
+	// until commit (promote), abort (rollback), or lease expiry (controller
+	// silence), whichever comes first — expiry reverts to lkg.
+	lkg         *layout
+	trial       *layout
+	trialExpiry uint64
+
+	pending []pendingPkt
+	parked  []parkedPkt
+	fifo    [][]byte // arrival order, exactly-once by slice identity
+
+	accepted, delivered, rejected uint64
+	garbage, orderViol            uint64
+	garbageByGen                  map[uint64]uint64
+	detail                        string
+	leaseReverts                  uint64
+	applyRetries                  uint64
+
+	describeMutator func(*Description)
+}
+
+type pendingPkt struct {
+	pkt []byte
+	gen uint64
+}
+
+// NewHost boots a host: device from the bundled model, self-provisioned
+// boot layout compiled locally (a NIC is serviceable before any controller
+// finds it).
+func NewHost(name string, m *nic.Model, opts HostOptions) (*Host, error) {
+	opts = opts.withDefaults()
+	dev, err := nicsim.New(m, nicsim.Config{RingEntries: opts.RingEntries})
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		Name:         name,
+		Model:        m,
+		dev:          dev,
+		clk:          opts.Clock,
+		golden:       goldenFuncs(),
+		garbageByGen: make(map[uint64]uint64),
+	}
+	names := make([]semantics.Name, len(opts.BootSemantics))
+	for i, s := range opts.BootSemantics {
+		names[i] = semantics.Name(s)
+	}
+	intent, err := core.IntentFromSemantics("boot", semantics.Default, names...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Compile(intent, core.CompileOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("fleet host %s: boot compile: %w", name, err)
+	}
+	if err := h.applyConfig(res.Config); err != nil {
+		return nil, fmt.Errorf("fleet host %s: boot apply: %w", name, err)
+	}
+	h.lkg = newLayout(0, res, h.golden)
+	return h, nil
+}
+
+// Describe answers the discovery handshake. The optional mutator models a
+// rogue or corrupted publisher (quarantine-path coverage in tests and the
+// demo); an honest host publishes exactly its model.
+func (h *Host) Describe() (*Description, error) {
+	d, err := Describe(h.Model, h.Name)
+	if err != nil {
+		return nil, err
+	}
+	if h.describeMutator != nil {
+		h.describeMutator(d)
+	}
+	return d, nil
+}
+
+// SetDescribeMutator installs the rogue-publisher hook.
+func (h *Host) SetDescribeMutator(fn func(*Description)) { h.describeMutator = fn }
+
+// active returns the serving layout: the trial while one is baking, the
+// last-known-good otherwise.
+func (h *Host) active() *layout {
+	if h.trial != nil {
+		return h.trial
+	}
+	return h.lkg
+}
+
+// Generation reports the serving generation.
+func (h *Host) Generation() uint64 { return h.active().gen }
+
+// CommittedGeneration reports the last-known-good generation.
+func (h *Host) CommittedGeneration() uint64 { return h.lkg.gen }
+
+// tick enforces the trial lease: a trial the controller neither committed
+// nor aborted within its lease (partition, crash, mid-rollout abort lost
+// in transit) is unilaterally reverted — the host degrades to its
+// last-known-good layout rather than serving an unproven interface
+// indefinitely.
+func (h *Host) tick() {
+	if h.trial != nil && h.clk.Now() >= h.trialExpiry {
+		if h.revertToLKG() == nil {
+			h.leaseReverts++
+		}
+	}
+}
+
+// Rx offers one packet to the device; false means ring backpressure.
+func (h *Host) Rx(pkt []byte) bool {
+	h.tick()
+	if !h.dev.RxPacket(pkt) {
+		h.rejected++
+		return false
+	}
+	h.pending = append(h.pending, pendingPkt{pkt: pkt, gen: h.active().gen})
+	h.fifo = append(h.fifo, pkt)
+	h.accepted++
+	return true
+}
+
+// Poll delivers available completions, running the embedded oracles on
+// every delivery. Returns the number delivered.
+func (h *Host) Poll() int {
+	h.tick()
+	n := 0
+	for _, d := range h.parked {
+		h.deliver(d.pkt, d.cmpt, d.lay)
+		n++
+	}
+	h.parked = h.parked[:0]
+	lay := h.active()
+	for len(h.pending) > 0 {
+		p := h.pending[0]
+		if !h.dev.CmptRing.Consume(func(cmpt []byte) {
+			h.deliver(p.pkt, cmpt, lay)
+		}) {
+			break
+		}
+		h.pending = h.pending[1:]
+		n++
+	}
+	return n
+}
+
+// deliver checks one delivery against the S23 oracle family: exactly-once
+// in order (FIFO, by slice identity) and golden metadata (every checkable
+// read equals the SoftNIC ground truth under the accessor's width).
+func (h *Host) deliver(pkt, cmpt []byte, lay *layout) {
+	if len(h.fifo) == 0 || &h.fifo[0][0] != &pkt[0] {
+		h.orderViol++
+		h.note(fmt.Sprintf("gen %d: delivery out of order or duplicated", lay.gen))
+	} else {
+		h.fifo = h.fifo[1:]
+	}
+	for _, c := range lay.checks {
+		got, err := lay.rt.Read(c.sem, cmpt, pkt)
+		if err != nil {
+			continue
+		}
+		if want := c.fn(pkt) & c.mask; got != want {
+			h.garbage++
+			h.garbageByGen[lay.gen]++
+			h.note(fmt.Sprintf("gen %d: read %s = %#x, ground truth %#x", lay.gen, c.sem, got, want))
+		}
+	}
+	h.delivered++
+}
+
+func (h *Host) note(detail string) {
+	if h.detail == "" {
+		h.detail = detail
+	}
+}
+
+// drain consumes every completion still in the ring under the given
+// layout, parking deliveries so no in-flight packet crosses a
+// reconfiguration boundary (the evolve switchover discipline).
+func (h *Host) drain(lay *layout) {
+	for len(h.pending) > 0 {
+		p := h.pending[0]
+		if !h.dev.CmptRing.Consume(func(cmpt []byte) {
+			h.parked = append(h.parked, parkedPkt{pkt: p.pkt, cmpt: append([]byte(nil), cmpt...), lay: lay})
+		}) {
+			break
+		}
+		h.pending = h.pending[1:]
+	}
+}
+
+// applyConfig programs the device with the shared bounded-retry policy
+// (the control channel of a real device may NAK bursts; the simulated one
+// only does under fault injection, but the discipline is uniform).
+func (h *Host) applyConfig(cfg []core.Constraint) error {
+	return retry.Policy{
+		OnError: func(int, error) { h.applyRetries++ },
+	}.Do(func() error { return h.dev.ApplyConfig(cfg) })
+}
+
+// ApplyTrial installs an uncommitted rollout generation: drain under the
+// current layout, program the device, verify the active path, then serve
+// on the trial under a lease. On any failure the previous configuration is
+// restored and the host stays on its current layout.
+func (h *Host) ApplyTrial(gen uint64, res *core.Result, leaseNs uint64) error {
+	h.tick()
+	if h.trial != nil {
+		return fmt.Errorf("fleet host %s: trial gen %d still open", h.Name, h.trial.gen)
+	}
+	cur := h.active()
+	h.drain(cur)
+	if err := h.applyConfig(res.Config); err != nil {
+		h.applyConfig(cur.res.Config) // best-effort restore; ApplyConfig is atomic
+		return fmt.Errorf("fleet host %s: apply gen %d: %w", h.Name, gen, err)
+	}
+	if ap, err := h.dev.ActivePath(); err != nil || ap.ID != res.Selected.Path.ID {
+		h.applyConfig(cur.res.Config)
+		if err == nil {
+			err = fmt.Errorf("device resolved path %d, want %d", ap.ID, res.Selected.Path.ID)
+		}
+		return fmt.Errorf("fleet host %s: verify gen %d: %w", h.Name, gen, err)
+	}
+	h.trial = newLayout(gen, res, h.golden)
+	h.trialExpiry = h.clk.Now() + leaseNs
+	return nil
+}
+
+// Commit promotes the trial to last-known-good (no reconfiguration: the
+// trial is already serving).
+func (h *Host) Commit(gen uint64) error {
+	h.tick()
+	if h.trial == nil || h.trial.gen != gen {
+		return fmt.Errorf("fleet host %s: no open trial for gen %d", h.Name, gen)
+	}
+	h.lkg = h.trial
+	h.trial = nil
+	h.trialExpiry = 0
+	return nil
+}
+
+// Abort rolls the trial back to the last-known-good layout. Aborting a
+// trial that already lease-reverted (or never applied) succeeds as a
+// no-op: the rollback goal state is already true.
+func (h *Host) Abort(gen uint64) error {
+	h.tick()
+	if h.trial == nil || h.trial.gen != gen {
+		return nil
+	}
+	return h.revertToLKG()
+}
+
+// revertToLKG drains in-flight traffic under the trial, restores the
+// last-known-good configuration, and drops the trial.
+func (h *Host) revertToLKG() error {
+	h.drain(h.trial)
+	if err := h.applyConfig(h.lkg.res.Config); err != nil {
+		return fmt.Errorf("fleet host %s: revert: %w", h.Name, err)
+	}
+	h.trial = nil
+	h.trialExpiry = 0
+	return nil
+}
+
+// Health reports the embedded-oracle counters (the canary health check).
+// Like every control RPC it first enforces the lease, so a host whose
+// trial expired reports itself back on last-known-good.
+func (h *Host) Health() Health {
+	h.tick()
+	return Health{
+		Gen:             h.active().gen,
+		Trial:           h.trial != nil,
+		Accepted:        h.accepted,
+		Delivered:       h.delivered,
+		Garbage:         h.garbage,
+		OrderViolations: h.orderViol,
+		Detail:          h.detail,
+		LeaseReverts:    h.leaseReverts,
+	}
+}
+
+// GarbageByGen exposes per-generation golden-oracle violation counts, so a
+// harness can attribute garbage to the (known-bad) trial generation that
+// produced it and flag anything else as a real failure.
+func (h *Host) GarbageByGen() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(h.garbageByGen))
+	for g, n := range h.garbageByGen {
+		out[g] = n
+	}
+	return out
+}
+
+// PendingCount reports packets accepted but not yet delivered.
+func (h *Host) PendingCount() int { return len(h.pending) + len(h.parked) }
+
+// Rejected reports ring-backpressure rejections.
+func (h *Host) Rejected() uint64 { return h.rejected }
+
+// ApplyRetries reports NAKed/retried config bursts (zero without faults).
+func (h *Host) ApplyRetries() uint64 { return h.applyRetries }

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"errors"
+
+	"opendesc/internal/vclock"
+)
+
+// ErrDeadline is what every control RPC surfaces when its link is down,
+// flapping, or slower than the caller's deadline. Retry logic matches on
+// it with errors.Is.
+var ErrDeadline = errors.New("fleet: rpc deadline exceeded")
+
+// Link is the simulated control channel between the controller and one
+// host. It charges latency to the shared (virtual) clock, can be
+// partitioned or scripted to fail the next N calls, and — like everything
+// in the chaos harness — is driven single-threaded: the scheduler
+// interleaves operations, it never overlaps them.
+type Link struct {
+	clk       vclock.Clock
+	latencyNs uint64
+
+	down     bool
+	failNext int
+
+	calls    uint64
+	timeouts uint64
+}
+
+// NewLink builds a link with the given one-way latency on clk.
+func NewLink(clk vclock.Clock, latencyNs uint64) *Link {
+	if clk == nil {
+		clk = vclock.Wall()
+	}
+	return &Link{clk: clk, latencyNs: latencyNs}
+}
+
+// Partition takes the link down until Heal; calls burn their full deadline
+// and fail.
+func (l *Link) Partition() { l.down = true }
+
+// Heal restores the link.
+func (l *Link) Heal() { l.down = false }
+
+// Partitioned reports the link state.
+func (l *Link) Partitioned() bool { return l.down }
+
+// FailNext scripts the next n calls to time out even on a healed link
+// (flapping/lossy behavior).
+func (l *Link) FailNext(n int) { l.failNext = n }
+
+// call runs one RPC body under a deadline. A failed call costs the caller
+// the whole deadline (the realistic worst case — the controller blocked
+// waiting); a successful one costs the link latency.
+func (l *Link) call(deadlineNs uint64, fn func() error) error {
+	l.calls++
+	if l.down || l.failNext > 0 {
+		if l.failNext > 0 {
+			l.failNext--
+		}
+		l.timeouts++
+		l.clk.Advance(deadlineNs)
+		return ErrDeadline
+	}
+	l.clk.Advance(l.latencyNs)
+	return fn()
+}
+
+// Stats reports (calls, timeouts) for observability and tests.
+func (l *Link) Stats() (calls, timeouts uint64) { return l.calls, l.timeouts }

@@ -137,6 +137,26 @@ func (m *Model) MetadataFieldCount() (int, error) {
 	return len(s), nil
 }
 
+// CompletionSizes returns the distinct completion-record byte sizes across
+// the NIC's enumerated paths, ascending — part of the capability model a
+// fleet host publishes in its describe answer (S25).
+func (m *Model) CompletionSizes() ([]int, error) {
+	paths, err := m.Paths()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	var sizes []int
+	for _, p := range paths {
+		if n := p.SizeBytes(); !seen[n] {
+			seen[n] = true
+			sizes = append(sizes, n)
+		}
+	}
+	sort.Ints(sizes)
+	return sizes, nil
+}
+
 // Compile maps an intent onto this NIC.
 func (m *Model) Compile(intent *core.Intent, opts core.CompileOptions) (*core.Result, error) {
 	return core.Compile(m.Name, m.Deparser, intent, opts)

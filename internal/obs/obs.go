@@ -94,6 +94,7 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindFloatFunc
 )
 
 func (k kind) promType() string {
@@ -118,8 +119,9 @@ type metric struct {
 	c  *Counter
 	g  *Gauge
 	h  *Histogram
-	fn func() uint64 // counter-func source
-	gf func() int64  // gauge-func source
+	fn func() uint64  // counter-func source
+	gf func() int64   // gauge-func source
+	ff func() float64 // float-func source
 }
 
 // labelString renders {k="v",...} (empty string for no labels).
@@ -282,6 +284,13 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label
 	r.register(&metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, gf: fn}, false)
 }
 
+// FloatFunc registers a gauge whose value is a float read from fn at
+// render time — for ratios (cache hit rate, utilization) that the integer
+// gauge kinds would truncate.
+func (r *Registry) FloatFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindFloatFunc, ff: fn}, false)
+}
+
 // AttachCounter registers an externally owned Counter under the given
 // series, so subsystems can keep their counters inline (hot, padded) and
 // still expose them. Attaching a different Counter under an already-taken
@@ -320,6 +329,8 @@ func (m *metric) value() float64 {
 		return float64(m.fn())
 	case kindGaugeFunc:
 		return float64(m.gf())
+	case kindFloatFunc:
+		return m.ff()
 	case kindHistogram:
 		return float64(m.h.Count())
 	}

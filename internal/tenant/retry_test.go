@@ -1,0 +1,47 @@
+package tenant
+
+import (
+	"testing"
+
+	"opendesc/internal/core"
+	"opendesc/internal/faults"
+	"opendesc/internal/nic"
+	"opendesc/internal/nicsim"
+	"opendesc/internal/retry"
+	"opendesc/internal/semantics"
+)
+
+// TestApplyWithRetriesAttemptCount pins the retry.Policy adoption to the
+// legacy schedule: against a control channel that NAKs every burst,
+// applyWithRetries makes exactly retry.DefaultAttempts (4) ApplyConfig
+// attempts — the same count the old hardcoded ×4 loop made — and the
+// device accepts on the first attempt once the channel heals.
+func TestApplyWithRetriesAttemptCount(t *testing.T) {
+	m := nic.MustLoad("mlx5")
+	intent, err := core.IntentFromSemantics("t", semantics.Default, semantics.RSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Compile(intent, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nicsim.MustNew(m, nicsim.Config{})
+
+	dev.InjectFaults(faults.New(faults.Plan{Seed: 7, NAKP: 1}))
+	if err := applyWithRetries(dev, res.Config); err == nil {
+		t.Fatal("ApplyConfig under a full NAK storm must fail")
+	}
+	if naks := dev.Stats().ConfigNAKs; naks != retry.DefaultAttempts {
+		t.Fatalf("made %d attempts, want exactly %d (the legacy ×4 schedule)",
+			naks, retry.DefaultAttempts)
+	}
+
+	dev.InjectFaults(nil)
+	if err := applyWithRetries(dev, res.Config); err != nil {
+		t.Fatalf("healed channel: %v", err)
+	}
+	if naks := dev.Stats().ConfigNAKs; naks != retry.DefaultAttempts {
+		t.Fatalf("healed apply added attempts: ConfigNAKs = %d", naks)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"opendesc/internal/nicsim"
 	"opendesc/internal/obs"
 	"opendesc/internal/pkt"
+	"opendesc/internal/retry"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
 	"opendesc/internal/vclock"
@@ -166,10 +167,6 @@ type Plane struct {
 	steals       obs.Counter // stolen delivery batches
 	unclassified obs.Counter // packets matching no tenant port
 }
-
-// configRetries bounds ApplyConfig attempts per queue during a switchover,
-// matching the evolve engine's discipline.
-const configRetries = 4
 
 // Open compiles the tenants' joint intent, programs one device per core
 // with the shared winning configuration, and builds each tenant's accessor
@@ -697,14 +694,10 @@ func (p *Plane) switchTo(jr *core.JointResult, fastTenant int) error {
 	return nil
 }
 
+// applyWithRetries programs one queue with the shared bounded-retry
+// discipline (defaults matching the evolve engine's ×4 schedule).
 func applyWithRetries(dev *nicsim.Device, cfg []core.Constraint) error {
-	var err error
-	for i := 0; i < configRetries; i++ {
-		if err = dev.ApplyConfig(cfg); err == nil {
-			return nil
-		}
-	}
-	return err
+	return retry.Policy{}.Do(func() error { return dev.ApplyConfig(cfg) })
 }
 
 // TenantStats is one tenant's delivery snapshot.
