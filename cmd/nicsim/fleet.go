@@ -3,23 +3,30 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"opendesc/internal/fleet"
+	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/nic"
 	"opendesc/internal/vclock"
 	"opendesc/internal/workload"
 )
 
-// runFleet is the fleet-control-plane demo (DESIGN.md §S25): it boots a
-// heterogeneous fleet of simulated hosts (round-robin over the bundled NIC
-// models, plus one rogue whose describe handshake lies about its digest),
-// inventories them over the describe protocol, provisions a fleet-wide
-// layout through the content-addressed compile cache, then runs two
-// rollouts — a benign intent widening that canaries, bakes, and promotes,
-// and a tampered description push whose canary trips the golden-metadata
-// oracle and triggers an automatic fleet-wide rollback — printing the
-// controller transcript as it goes.
-func runFleet(hosts, packets int, dump bool) {
+// runFleet is the fleet-control-plane demo (DESIGN.md §S25/§S26): it boots
+// a heterogeneous fleet of simulated hosts (round-robin over the bundled
+// NIC models, plus one rogue whose describe handshake lies about its
+// digest), inventories them over the describe protocol, provisions a
+// fleet-wide layout through the content-addressed compile cache, then runs
+// two rollouts — a benign intent widening that canaries, bakes, and
+// promotes, and a tampered description push whose canary trips the
+// golden-metadata oracle and triggers an automatic fleet-wide rollback —
+// printing the controller transcript as it goes. A telemetry sweep then
+// collects every host's flight evidence into the controller rollup, and
+// -trace writes the merged fleet timeline (controller span tree + every
+// host's flight ring) as Chrome trace JSON. -spans and -dump-flight ship
+// the raw artifacts instead — the span tree and per-host .odfl rings —
+// so the same timeline can be rebuilt offline with 'opendesc fleettrace'.
+func runFleet(hosts, packets int, dump bool, traceOut, spansOut, dumpDir string) {
 	if hosts < 2 {
 		fatal(fmt.Errorf("-fleet needs at least 2 hosts"))
 	}
@@ -131,6 +138,23 @@ func runFleet(hosts, packets int, dump bool) {
 	fmt.Printf("\nfleet after rollback: %d/%d hosts serving promoted gen 2, %d/%d packets delivered exactly once, %d garbage reads (canaries only, during bake)\n",
 		promoted, len(fleetHosts), delivered, accepted, garbage)
 
+	// Telemetry sweep: every healthy host ships its flight evidence; the
+	// controller validates, cross-checks, and rolls it up fleet-wide.
+	sw := ctrl.CollectTelemetry()
+	ru := ctrl.Rollup()
+	fmt.Printf("\ntelemetry sweep: %d reports collected, %d skipped, %d rejected\n",
+		sw.Collected, sw.Skipped, sw.Rejected)
+	fmt.Printf("fleet rollup: %d hosts, p99 poll→deliver %dns, anomaly rate %.4f\n",
+		ru.Hosts(), ru.FleetP99(), ru.AnomalyRate())
+	for _, fs := range ru.Families() {
+		fmt.Printf("  family %-8s %2d hosts  %6d delivered  p99 %4dns  %d anomalies\n",
+			fs.Family, fs.Hosts, fs.Delivered, fs.P99Ns, fs.Anomalies)
+	}
+	for _, gs := range ru.Generations() {
+		fmt.Printf("  gen %d: %d hosts, %d delivered, p99 %dns\n",
+			gs.Gen, gs.Hosts, gs.Delivered, gs.P99Ns)
+	}
+
 	fmt.Println("\ncontroller transcript:")
 	for _, line := range ctrl.Transcript() {
 		fmt.Printf("  %s\n", line)
@@ -138,6 +162,52 @@ func runFleet(hosts, packets int, dump bool) {
 	if dump {
 		fmt.Println()
 		fmt.Printf("cache: %+v\n", ctrl.CacheStats())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ctrl.FleetTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nfleet trace: %s (open in https://ui.perfetto.dev)\n", traceOut)
+	}
+	if spansOut != "" {
+		f, err := os.Create(spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteSpans(f, ctrl.Trace().Spans()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("controller spans: %s (%d spans)\n", spansOut, len(ctrl.Trace().Spans()))
+	}
+	if dumpDir != "" {
+		if err := os.MkdirAll(dumpDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, h := range fleetHosts {
+			path := filepath.Join(dumpDir, h.Name+".odfl")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := h.FlightSnapshot().WriteTo(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("flight dumps: %d hosts under %s (merge with 'opendesc flight -merge %s/*.odfl')\n",
+			len(fleetHosts), dumpDir, dumpDir)
 	}
 	_ = packets
 	if accepted != delivered {

@@ -53,6 +53,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "fault-injection PRNG seed (with -faults)")
 		tenants   = flag.Int("tenants", 0, "run the multi-tenant serving-plane demo with this many tenants (jointly-compiled intents, RSS sharding, mid-run renegotiation)")
 		fleetN    = flag.Int("fleet", 0, "run the fleet control-plane demo with this many hosts (describe inventory, canary rollout, automatic rollback)")
+		fleetTr   = flag.String("trace", "", "with -fleet: write the merged fleet timeline (controller spans + host flight rings) as Chrome trace JSON to this file")
+		fleetSp   = flag.String("spans", "", "with -fleet: write the controller's rollout/trial/bake/verdict span tree as schema-versioned JSON (rebuild the timeline offline with 'opendesc fleettrace')")
+		fleetFd   = flag.String("dump-flight", "", "with -fleet: write every host's flight ring as <host>.odfl into this directory (merge with 'opendesc flight -merge' or 'opendesc fleettrace')")
 	)
 	flag.StringVar(&flightTrace, "flight", "", "write the flight-recorder Chrome trace (Perfetto-loadable JSON) to this file on exit")
 	flag.StringVar(&flightDump, "flight-dump", "", "directory for automatic flight-recorder postmortem dumps (.odfl, decode with 'opendesc flight')")
@@ -65,7 +68,7 @@ func main() {
 		}
 	}
 	if *fleetN > 0 {
-		runFleet(*fleetN, *packets, *stats)
+		runFleet(*fleetN, *packets, *stats, *fleetTr, *fleetSp, *fleetFd)
 		return
 	}
 	if *tenants > 0 {

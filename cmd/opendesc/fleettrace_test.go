@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"opendesc/internal/fleet/telemetry"
+	"opendesc/internal/obs/flight"
+)
+
+// secondSnapshot is a second deterministic host ring so merged traces have
+// two distinct process tracks on one timeline.
+func secondSnapshot() *flight.Snapshot {
+	return &flight.Snapshot{
+		Reason: "telemetry",
+		Epoch:  time.Unix(1700000000, 0).UTC(),
+		Queues: []flight.QueueEvents{{
+			ID:   0,
+			Name: "q0",
+			Events: []flight.Event{
+				{TS: 1500, Code: flight.EvRingPush, Seq: 0, Arg0: 1},
+				{TS: 3100, Code: flight.EvDeliver, Seq: 1, Arg0: 400, Arg1: 900},
+				{TS: 4200, Code: flight.EvGarbage, Seq: 2, Arg0: flight.PackName("rss"), Arg1: 3},
+			},
+		}},
+	}
+}
+
+// writeSnapshotDump serializes one snapshot under the given basename; the
+// basename becomes the merged trace's process name.
+func writeSnapshotDump(t *testing.T, dir, base string, snap *flight.Snapshot) string {
+	t.Helper()
+	path := filepath.Join(dir, base+".odfl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testSpans is a deterministic controller span tree: one rollout wrapping a
+// trial and a bake, ending in a promote instant.
+func testSpans() []telemetry.Span {
+	return []telemetry.Span{
+		{Name: "rollout widen gen 2", Cat: "rollout", Track: "rollout", StartNs: 1000, EndNs: 9000,
+			Args: map[string]string{"gen": "2", "targets": "2"}},
+		{Name: "trial host-a", Cat: "trial", Track: "host-a", StartNs: 1200, EndNs: 6000},
+		{Name: "bake", Cat: "bake", Track: "bake", StartNs: 2000, EndNs: 8000},
+		{Name: "promote", Cat: "verdict", Track: "rollout", StartNs: 9000, EndNs: 9000,
+			Args: map[string]string{"hosts": "2"}},
+	}
+}
+
+func writeSpanFile(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "spans.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSpans(f, testSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFleetTraceGolden(t *testing.T) {
+	dir := t.TempDir()
+	spans := writeSpanFile(t, dir)
+	hostA := writeSnapshotDump(t, dir, "host-a", testSnapshot())
+	hostB := writeSnapshotDump(t, dir, "host-b", secondSnapshot())
+
+	var out bytes.Buffer
+	if err := runFleetTrace([]string{spans, hostA, hostB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("fleettrace export is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("fleettrace export has no traceEvents")
+	}
+	text := out.String()
+	for _, want := range []string{
+		`"controller"`, `"rollout widen gen 2"`, `"trial host-a"`, `"promote"`,
+		`"host-a"`, `"host-b"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleettrace output missing %s", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "fleet_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("fleet trace drifted from golden (run with -update-golden to refresh):\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestRunFleetTraceErrors(t *testing.T) {
+	if err := runFleetTrace([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("no arguments should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"wrong/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFleetTrace([]string{bad}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong span schema: err = %v, want schema rejection", err)
+	}
+}

@@ -136,3 +136,60 @@ func TestRunFlightOutputFile(t *testing.T) {
 		t.Errorf("-o output incomplete: %q", b)
 	}
 }
+
+func TestRunFlightMergeGolden(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSnapshotDump(t, dir, "host-a", testSnapshot())
+	b := writeSnapshotDump(t, dir, "host-b", secondSnapshot())
+
+	var out bytes.Buffer
+	if err := runFlight([]string{"-merge", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v\n%s", err, out.String())
+	}
+	// Both dumps contribute, on distinct process tracks named by basename.
+	pids := map[float64]bool{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+		if ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				names[args["name"].(string)] = true
+			}
+		}
+	}
+	if len(pids) < 2 || !names["host-a"] || !names["host-b"] {
+		t.Fatalf("merged trace lacks per-file process tracks: pids=%v names=%v", pids, names)
+	}
+
+	golden := filepath.Join("testdata", "flight_merge.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("merged trace drifted from golden (run with -update-golden to refresh):\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestRunFlightMergeErrors(t *testing.T) {
+	if err := runFlight([]string{"-merge"}, &bytes.Buffer{}); err == nil {
+		t.Error("-merge with no files should fail")
+	}
+	path := writeDump(t)
+	if err := runFlight([]string{path, path}, &bytes.Buffer{}); err == nil {
+		t.Error("two files without -merge should fail")
+	}
+}

@@ -11,6 +11,8 @@
 //	opendesc -nic e1000e -req rss -backend dot > cfg.dot
 //	opendesc flight dump.odfl            # decode a flight-recorder postmortem
 //	opendesc flight -chrome dump.odfl    # ... as Perfetto-loadable JSON
+//	opendesc flight -merge a.odfl b.odfl # N dumps, one time-aligned trace
+//	opendesc fleettrace spans.json *.odfl  # controller spans + host rings merged
 //	opendesc chaos -cases 1000           # deterministic whole-stack chaos sweep
 //	opendesc chaos -seed 7 -bug -shrink  # catch the canary bug, emit a minimal reproducer
 //	opendesc chaos -replay repro.chaos   # replay a shrunk reproducer spec
@@ -45,6 +47,12 @@ func main() {
 	// deterministic simulation harness.
 	if len(os.Args) > 1 && os.Args[1] == "flight" {
 		if err := runFlight(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleettrace" {
+		if err := runFleetTrace(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -63,13 +63,15 @@ const (
 	baselineE17Packets = 4096
 	baselineE19Packets = 4096
 	baselineE20Packets = 2048
+	baselineE21Packets = 4096
 )
 
-// BaselineExperiments returns the seven artifact-emitting experiments at
+// BaselineExperiments returns the eight artifact-emitting experiments at
 // their pinned baseline parameters: the E4 datapath comparison, the E11
 // interface-model microbench, E15 live renegotiation, the E16 fault
 // matrix, the E17 flight-recorder overhead run, the E19 multi-tenant
-// serving plane, and the E20 fleet control plane.
+// serving plane, the E20 fleet control plane, and the E21 fleet
+// telemetry/evidence-bake run.
 func BaselineExperiments() []BaselineExp {
 	return []BaselineExp{
 		{"e4", "e4_datapath", func() (*Table, error) { return E4Datapath(baselinePackets, baselineMinDur) }},
@@ -79,5 +81,6 @@ func BaselineExperiments() []BaselineExp {
 		{"e17", "e17_flight", func() (*Table, error) { return E17Flight(baselineE17Packets, "") }},
 		{"e19", "e19_tenants", func() (*Table, error) { return E19Tenants(baselineE19Packets) }},
 		{"e20", "e20_fleet", func() (*Table, error) { return E20Fleet(baselineE20Packets) }},
+		{"e21", "e21_teleme", func() (*Table, error) { return E21Telemetry(baselineE21Packets) }},
 	}
 }

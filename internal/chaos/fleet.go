@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"opendesc/internal/fleet"
+	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/nic"
 	"opendesc/internal/pkt"
 	"opendesc/internal/vclock"
@@ -34,6 +35,13 @@ type FleetConfig struct {
 	LeaseNs uint64
 	// BakeTarget is the per-canary bake depth before promotion (default 24).
 	BakeTarget uint64
+	// ForgedTelemetry arms host index 1 with a forged-clean telemetry
+	// mutator: its reports hide garbage/order counters and anomaly evidence
+	// (re-sealed with a valid digest, so only the controller's counter
+	// cross-check can expose them). The telemetry oracle then requires the
+	// controller to quarantine that host the moment its forgery actually
+	// lies, and to never quarantine an honest one.
+	ForgedTelemetry bool
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -83,6 +91,10 @@ type FleetResult struct {
 	LeaseReverts uint64
 	// CacheHitRate is the controller compile-cache hit rate at the end.
 	CacheHitRate float64
+	// TelemetryReports / TelemetryRejects count sweep outcomes: reports
+	// validated+cross-checked+absorbed vs rejected (forged or stale).
+	TelemetryReports uint64
+	TelemetryRejects uint64
 }
 
 // fleetRunner executes one fleet schedule.
@@ -167,6 +179,16 @@ func (r *fleetRunner) setup(seed uint64) error {
 		r.hosts = append(r.hosts, h)
 		r.links = append(r.links, l)
 	}
+	if cfg.ForgedTelemetry && len(r.hosts) > 1 {
+		// Clean-slate forgery: the report claims nothing was delivered and
+		// nothing went wrong. It re-seals with a valid digest, so it lies
+		// undetectably — until the controller's own Health observation says
+		// the host has served traffic.
+		r.hosts[1].SetTelemetryMutator(func(rep *telemetry.Report) {
+			rep.Counters = telemetry.Counters{}
+			rep.Anomalies, rep.Slowest, rep.Truncated = nil, nil, 0
+		})
+	}
 	r.badGens = make(map[uint64]bool)
 	r.lastGarbage = make([]map[uint64]uint64, cfg.Hosts)
 	for i := range r.lastGarbage {
@@ -198,7 +220,7 @@ func (r *fleetRunner) exec(step int, rng *rng) {
 		ns := uint64(1 + rng.intn(1<<14))
 		r.clk.Advance(ns)
 		fmt.Fprintf(&r.log, "%4d advance %d\n", step, ns)
-	case roll < 90:
+	case roll < 88:
 		i := rng.intn(len(r.links))
 		l := r.links[i]
 		if l.Partitioned() {
@@ -208,8 +230,41 @@ func (r *fleetRunner) exec(step int, rng *rng) {
 			l.Partition()
 			fmt.Fprintf(&r.log, "%4d partition link %d\n", step, i)
 		}
+	case roll < 93:
+		r.telemetryEvent(step)
 	default:
 		r.rolloutEvent(step)
+	}
+}
+
+// telemetryEvent sweeps the fleet for telemetry reports and runs the
+// telemetry oracle: an honest host is never quarantined by the sweep, and
+// a forged-clean report is rejected the moment it actually hides evidence.
+func (r *fleetRunner) telemetryEvent(step int) {
+	sw := r.ctrl.CollectTelemetry()
+	r.res.TelemetryReports += uint64(sw.Collected)
+	r.res.TelemetryRejects += uint64(sw.Rejected)
+	fmt.Fprintf(&r.log, "%4d telemetry sweep: %d collected %d skipped %d rejected, fleet p99 %d\n",
+		step, sw.Collected, sw.Skipped, sw.Rejected, r.ctrl.Rollup().FleetP99())
+	var forgedName string
+	if r.cfg.ForgedTelemetry && len(r.hosts) > 1 {
+		forgedName = r.hosts[1].Name
+	}
+	for _, o := range sw.Outcomes {
+		if !o.Accepted && !o.Skipped && o.Host != forgedName {
+			r.fail(&Violation{Oracle: "telemetry", Step: step,
+				Detail: fmt.Sprintf("honest host %s quarantined by telemetry sweep: %s", o.Host, o.Reason)})
+			return
+		}
+		if o.Accepted && o.Host == forgedName {
+			hl := r.hosts[1].Health()
+			if hl.Delivered > 0 || hl.Garbage > 0 || hl.OrderViolations > 0 {
+				r.fail(&Violation{Oracle: "telemetry", Step: step,
+					Detail: fmt.Sprintf("forged clean-slate report from %s absorbed despite %d delivered / %d garbage reads",
+						o.Host, hl.Delivered, hl.Garbage)})
+				return
+			}
+		}
 	}
 }
 

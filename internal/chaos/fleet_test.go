@@ -74,6 +74,39 @@ func TestFleetControllerPartition(t *testing.T) {
 	}
 }
 
+// TestFleetTelemetryTampering: with host 1 forging clean telemetry
+// (counters zeroed, anomalies stripped, report re-sealed with a valid
+// digest), the controller's counter cross-check must quarantine it as soon
+// as the forgery actually hides evidence — and must never quarantine an
+// honest host. The per-seed telemetry oracle inside RunFleet enforces
+// both; this sweep additionally requires the rejection machinery to have
+// actually fired somewhere, and the traces to stay byte-identical per
+// seed with forging enabled.
+func TestFleetTelemetryTampering(t *testing.T) {
+	cfg := FleetConfig{Hosts: 8, Steps: 512, ForgedTelemetry: true}
+	var reports, rejects uint64
+	for seed := uint64(1); seed <= 16; seed++ {
+		res := RunFleet(cfg, seed)
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v\ntrace tail:\n%s", seed, res.Violation, tail(res.Trace, 2000))
+		}
+		if res.Accepted != res.Delivered {
+			t.Fatalf("seed %d: accepted %d != delivered %d", seed, res.Accepted, res.Delivered)
+		}
+		again := RunFleet(cfg, seed)
+		if !bytes.Equal(res.Trace, again.Trace) {
+			t.Fatalf("seed %d: forged-telemetry traces differ between identical runs", seed)
+		}
+		reports += res.TelemetryReports
+		rejects += res.TelemetryRejects
+	}
+	if reports == 0 || rejects == 0 {
+		t.Fatalf("sweep exercised reports=%d rejects=%d — forged reports never caught; scenario too tame",
+			reports, rejects)
+	}
+	t.Logf("tampering sweep: %d reports absorbed, %d forged reports rejected", reports, rejects)
+}
+
 // TestFleetCacheReconciles: across a whole chaos run the compile-cache
 // counters reconcile and the heterogeneous fleet keeps the hit rate high
 // (many hosts per distinct description).

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"opendesc/internal/core"
+	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/obs"
 	"opendesc/internal/retry"
 	"opendesc/internal/semantics"
@@ -69,6 +72,20 @@ type Options struct {
 	BakeTarget uint64
 	// CacheCapacity bounds the compile cache (default 64).
 	CacheCapacity int
+	// TelemetryDeadlineNs bounds payload-carrying telemetry transfers, which
+	// need more headroom than small control RPCs (default 8× RPCDeadlineNs).
+	TelemetryDeadlineNs uint64
+	// DisableEvidenceBake reverts canary verdicts to Health counters alone —
+	// the pre-telemetry behavior, kept for A/B efficacy experiments. A trial
+	// that degrades latency but still delivers correct metadata promotes
+	// under counter bakes; only flight evidence catches it.
+	DisableEvidenceBake bool
+	// LatencyBudgetFactor and LatencyBudgetSlackNs set the evidence-bake
+	// latency gate: a canary promotes only if its trial p99 poll→deliver
+	// latency is ≤ baseline p99 × factor + slack. The slack absorbs log2
+	// bucket quantization around small baselines (defaults 4 and 256ns).
+	LatencyBudgetFactor  uint64
+	LatencyBudgetSlackNs uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +104,15 @@ func (o Options) withDefaults() Options {
 	if o.BakeTarget == 0 {
 		o.BakeTarget = 64
 	}
+	if o.TelemetryDeadlineNs == 0 {
+		o.TelemetryDeadlineNs = 8 * o.RPCDeadlineNs
+	}
+	if o.LatencyBudgetFactor == 0 {
+		o.LatencyBudgetFactor = 4
+	}
+	if o.LatencyBudgetSlackNs == 0 {
+		o.LatencyBudgetSlackNs = 256
+	}
 	return o
 }
 
@@ -99,6 +125,9 @@ type member struct {
 	reason string // quarantine reason when !ok
 	digest string // recomputed content address of the host's description
 	val    *Validated
+	// lastSeq is the highest telemetry report sequence accepted from this
+	// host; non-advancing sequences are replays and are rejected.
+	lastSeq uint64
 }
 
 // QuarantinedHost is one operator-visible quarantine record.
@@ -133,8 +162,17 @@ type Controller struct {
 
 	transcript []string
 
+	// rollup aggregates accepted telemetry reports into fleet-level metrics;
+	// trace accumulates the correlated rollout span tree. reg is remembered
+	// so per-rollout labeled gauges can be registered as rollouts start.
+	rollup *telemetry.Rollup
+	trace  *telemetry.Trace
+	reg    *obs.Registry
+
 	rollouts, promotions, rollbacks obs.Counter
 	canaryViolations, rpcRetries    obs.Counter
+	telemetryReports                obs.Counter
+	telemetryRejects                obs.Counter
 }
 
 // NewController builds an empty controller; add hosts with AddHost.
@@ -146,6 +184,8 @@ func NewController(opts Options) *Controller {
 		cache:   core.NewCompileCache(opts.CacheCapacity),
 		nextGen: 1,
 		seedSt:  opts.Seed,
+		rollup:  telemetry.NewRollup(),
+		trace:   telemetry.NewTrace(),
 	}
 }
 
@@ -316,9 +356,28 @@ type Rollout struct {
 	isCanary map[*member]bool
 	applied  []*member
 	baseline map[*member]Health
+	// baseReport is each canary's pre-trial telemetry report; its histogram
+	// anchors the latency budget. Absent (unreachable or rejected at canary
+	// time) the latency gate is disarmed for that canary — the anomaly gate
+	// never is. cutoff is the controller's own clock at trial apply: flight
+	// events at or before it are pre-trial history, not trial evidence.
+	baseReport map[*member]*telemetry.Report
+	cutoff     map[*member]uint64
+	// phase mirrors the controller's phase for this rollout only, so the
+	// per-rollout labeled gauge survives later rollouts overwriting the
+	// controller-global one.
+	phase atomic.Int32
+	// span/trialSpan/bakeSpan are trace handles for the rollout span tree.
+	span      int
+	trialSpan map[*member]int
+	bakeSpan  int
 	// Err records what aborted or rolled back the rollout.
 	Err error
 }
+
+// Phase reports this rollout's own terminal-aware phase (unlike
+// Controller.Phase, which tracks only the most recent rollout).
+func (r *Rollout) Phase() Phase { return Phase(r.phase.Load()) }
 
 // Gen is the generation this rollout installs.
 func (r *Rollout) Gen() uint64 { return r.gen }
@@ -350,13 +409,18 @@ func (c *Controller) StartRollout(up Upgrade) (*Rollout, error) {
 		overrides[nicName] = v
 	}
 	r := &Rollout{
-		c:        c,
-		up:       up,
-		gen:      c.nextGen,
-		compiled: make(map[string]*core.Result),
-		digests:  make(map[*member]string),
-		isCanary: make(map[*member]bool),
-		baseline: make(map[*member]Health),
+		c:          c,
+		up:         up,
+		gen:        c.nextGen,
+		compiled:   make(map[string]*core.Result),
+		digests:    make(map[*member]string),
+		isCanary:   make(map[*member]bool),
+		baseline:   make(map[*member]Health),
+		baseReport: make(map[*member]*telemetry.Report),
+		cutoff:     make(map[*member]uint64),
+		trialSpan:  make(map[*member]int),
+		span:       -1,
+		bakeSpan:   -1,
 	}
 	c.nextGen++
 	canaryByDigest := make(map[string]*member)
@@ -389,7 +453,23 @@ func (c *Controller) StartRollout(up Upgrade) (*Rollout, error) {
 	}
 	c.active = r
 	c.phase.Store(int32(PhaseCanary))
+	r.phase.Store(int32(PhaseCanary))
 	c.rollouts.Inc()
+	r.span = c.trace.Begin(fmt.Sprintf("rollout %s gen %d", up.Name, r.gen), "rollout", "rollout",
+		c.clk.Now(), map[string]string{
+			"gen":      strconv.FormatUint(r.gen, 10),
+			"targets":  strconv.Itoa(len(r.targets)),
+			"canaries": strconv.Itoa(len(r.canaries)),
+		})
+	if c.reg != nil {
+		// Per-rollout labeled phase series: unlike the unlabeled
+		// fleet_rollout_phase gauge (which tracks only the latest rollout),
+		// each rollout keeps its own terminal value visible.
+		rr := r
+		c.reg.WithLabels(obs.L("rollout", up.Name), obs.L("gen", strconv.FormatUint(r.gen, 10))).
+			GaugeFunc("fleet_rollout_phase", "per-rollout phase (0=idle 1=canary 2=bake 3=promote 4=promoted 5=rolled-back)",
+				func() int64 { return int64(rr.phase.Load()) })
+	}
 	c.logf("rollout %q gen %d: %d targets, %d canaries (%d distinct descriptions)",
 		up.Name, r.gen, len(r.targets), len(r.canaries), len(r.compiled))
 	return r, nil
@@ -405,6 +485,20 @@ func (r *Rollout) Step() error {
 		for _, m := range r.canaries {
 			res := r.compiled[r.digests[m]]
 			base := m.host.Health() // pre-trial snapshot is the violation baseline
+			if !c.opts.DisableEvidenceBake {
+				// Best-effort pre-trial report: its histogram anchors the
+				// latency budget. A canary whose baseline is unavailable still
+				// trials — with the latency gate disarmed, never the anomaly
+				// gate — so a flaky link cannot veto the rollout before it
+				// starts.
+				if rep, ferr := c.fetchReport(m); ferr == nil {
+					r.baseReport[m] = rep
+				} else {
+					c.logf("rollout %q: canary %s baseline telemetry unavailable (%v); latency gate disarmed",
+						r.up.Name, m.host.Name, ferr)
+				}
+			}
+			r.cutoff[m] = c.clk.Now()
 			err := c.rpc(m, func() error { return m.host.ApplyTrial(r.gen, res, c.opts.LeaseNs) })
 			if err != nil {
 				c.logf("rollout %q: canary %s apply failed: %v — rolling back", r.up.Name, m.host.Name, err)
@@ -413,8 +507,13 @@ func (r *Rollout) Step() error {
 			}
 			r.applied = append(r.applied, m)
 			r.baseline[m] = base
+			r.trialSpan[m] = c.trace.Begin("trial "+m.host.Name, "trial", m.host.Name,
+				c.clk.Now(), map[string]string{"gen": strconv.FormatUint(r.gen, 10)})
 		}
 		c.phase.Store(int32(PhaseBake))
+		r.phase.Store(int32(PhaseBake))
+		r.bakeSpan = c.trace.Begin("bake", "bake", "rollout", c.clk.Now(),
+			map[string]string{"target": strconv.FormatUint(c.opts.BakeTarget, 10)})
 		c.logf("rollout %q: %d canaries on trial gen %d, baking to %d deliveries",
 			r.up.Name, len(r.canaries), r.gen, c.opts.BakeTarget)
 		return nil
@@ -440,8 +539,12 @@ func (r *Rollout) Step() error {
 			}
 			if h.Garbage > base.Garbage || h.OrderViolations > base.OrderViolations {
 				c.canaryViolations.Inc()
+				cause := fmt.Sprintf("canary %s oracle violation: %s", m.host.Name, h.Detail)
+				if ev := r.citeEvidence(m); ev != "" {
+					cause += "; flight evidence: " + ev
+				}
 				c.logf("rollout %q: canary %s oracle violation (%s) — rolling back", r.up.Name, m.host.Name, h.Detail)
-				r.rollback(fmt.Errorf("canary %s oracle violation: %s", m.host.Name, h.Detail))
+				r.rollback(errors.New(cause))
 				return r.Err
 			}
 			if n := h.Delivered - base.Delivered; first || n < baked {
@@ -451,7 +554,14 @@ func (r *Rollout) Step() error {
 		if baked < c.opts.BakeTarget {
 			return nil // keep baking; caller drives more traffic and re-Steps
 		}
+		if !c.opts.DisableEvidenceBake {
+			if err := r.evidenceVerdict(); err != nil {
+				r.rollback(err)
+				return r.Err
+			}
+		}
 		c.phase.Store(int32(PhasePromote))
+		r.phase.Store(int32(PhasePromote))
 		c.logf("rollout %q: bake clean (%d deliveries/canary), promoting", r.up.Name, baked)
 		return nil
 
@@ -476,11 +586,129 @@ func (r *Rollout) Step() error {
 		}
 		c.active = nil
 		c.phase.Store(int32(PhasePromoted))
+		r.phase.Store(int32(PhasePromoted))
 		c.promotions.Inc()
+		r.closeSpans("promote", map[string]string{"hosts": strconv.Itoa(promoted)})
 		c.logf("rollout %q: promoted gen %d on %d/%d hosts", r.up.Name, r.gen, promoted, len(r.targets))
 		return nil
 	}
 	return r.Err
+}
+
+// citeEvidence best-effort fetches the canary's flight evidence and formats
+// the trial-window anomalies for a rollback reason. Empty when evidence
+// bakes are disabled or the report is unavailable.
+func (r *Rollout) citeEvidence(m *member) string {
+	if r.c.opts.DisableEvidenceBake {
+		return ""
+	}
+	rep, err := r.c.fetchReport(m)
+	if err != nil {
+		return ""
+	}
+	return formatAnomalies(trialAnomalies(rep, r.cutoff[m]), 4)
+}
+
+// trialAnomalies filters report anomalies to rollback-triggering codes
+// inside the trial window (strictly after the baseline report's NowNs).
+func trialAnomalies(rep *telemetry.Report, cutoffNs uint64) []telemetry.Anomaly {
+	var out []telemetry.Anomaly
+	for _, a := range rep.Anomalies {
+		switch a.Code {
+		case "garbage", "order_viol", "rollback":
+		default:
+			continue // ring_full is backpressure, explained by conservation
+		}
+		if a.TS > cutoffNs {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// formatAnomalies renders up to max anomaly citations.
+func formatAnomalies(anoms []telemetry.Anomaly, max int) string {
+	if len(anoms) == 0 {
+		return ""
+	}
+	cited := make([]string, 0, max)
+	for i, a := range anoms {
+		if i >= max {
+			cited = append(cited, fmt.Sprintf("… %d more", len(anoms)-max))
+			break
+		}
+		cited = append(cited, a.String())
+	}
+	out := cited[0]
+	for _, s := range cited[1:] {
+		out += " " + s
+	}
+	return out
+}
+
+// evidenceVerdict is the flight-evidence half of the bake: every canary's
+// post-bake telemetry report must show zero unexplained anomalies in the
+// trial window AND a trial p99 poll→deliver latency within the budget
+// derived from its own pre-trial baseline. Health counters alone miss a
+// trial that degrades latency but still delivers correct metadata; the
+// report's histogram and slowest-delivery exhibits catch it, and the
+// offending flight events are cited verbatim in the rollback reason.
+func (r *Rollout) evidenceVerdict() error {
+	c := r.c
+	for _, m := range r.canaries {
+		rep, err := c.fetchReport(m)
+		if err != nil {
+			var ie *integrityError
+			if errors.As(err, &ie) {
+				c.quarantine(m, fmt.Sprintf("telemetry: %v", ie.err))
+				return fmt.Errorf("canary %s telemetry rejected: %w", m.host.Name, ie.err)
+			}
+			return fmt.Errorf("canary %s unreachable for evidence bake: %w", m.host.Name, err)
+		}
+		if anoms := trialAnomalies(rep, r.cutoff[m]); len(anoms) > 0 {
+			c.canaryViolations.Inc()
+			return fmt.Errorf("canary %s flight evidence: %d unexplained anomalies in trial window: %s",
+				m.host.Name, len(anoms), formatAnomalies(anoms, 4))
+		}
+		// Latency gate, skipped when either window has no deliveries (a fresh
+		// fleet has no baseline to hold the trial against).
+		base := r.baseReport[m]
+		if base != nil && base.Deliver.Count > 0 && rep.Deliver.Count > 0 {
+			baseP99 := base.Deliver.Quantile(0.99)
+			budget := baseP99*c.opts.LatencyBudgetFactor + c.opts.LatencyBudgetSlackNs
+			p99 := rep.Deliver.Quantile(0.99)
+			if p99 > budget {
+				c.canaryViolations.Inc()
+				exhibits := formatAnomalies(rep.Slowest, 3)
+				return fmt.Errorf("canary %s latency evidence: trial p99 %dns exceeds budget %dns (baseline p99 %dns × %d + %dns); slowest deliveries: %s",
+					m.host.Name, p99, budget, baseP99, c.opts.LatencyBudgetFactor, c.opts.LatencyBudgetSlackNs, exhibits)
+			}
+			c.logf("rollout %q: canary %s evidence clean (trial p99 %dns ≤ budget %dns, 0 anomalies)",
+				r.up.Name, m.host.Name, p99, budget)
+		}
+		m.lastSeq = rep.Seq
+		c.rollup.Absorb(rep)
+		c.telemetryReports.Inc()
+	}
+	return nil
+}
+
+// closeSpans ends the rollout span tree with a terminal verdict instant.
+func (r *Rollout) closeSpans(verdict string, args map[string]string) {
+	c := r.c
+	now := c.clk.Now()
+	for _, m := range r.canaries {
+		if i, ok := r.trialSpan[m]; ok {
+			c.trace.End(i, now)
+		}
+	}
+	if r.bakeSpan >= 0 {
+		c.trace.End(r.bakeSpan, now)
+	}
+	c.trace.Instant(verdict, "verdict", "rollout", now, args)
+	if r.span >= 0 {
+		c.trace.End(r.span, now)
+	}
 }
 
 // rollback aborts every applied canary (unreachable ones are left to their
@@ -497,7 +725,9 @@ func (r *Rollout) rollback(cause error) {
 	r.Err = cause
 	c.active = nil
 	c.phase.Store(int32(PhaseRolledBack))
+	r.phase.Store(int32(PhaseRolledBack))
 	c.rollbacks.Inc()
+	r.closeSpans("rollback", map[string]string{"cause": cause.Error()})
 	c.logf("rollout %q: rolled back (%v); fleet serves on last-known-good", r.up.Name, cause)
 }
 
@@ -532,8 +762,16 @@ func (c *Controller) QuarantinedCount() int {
 }
 
 // RegisterMetrics exposes the fleet gauges on reg: rollout phase,
-// quarantined hosts, cache hit rate, and the rollout/RPC counters.
+// quarantined hosts, cache hit rate, the rollout/RPC/telemetry counters,
+// and the telemetry rollup aggregates. Rollouts started after this call
+// additionally get their own {rollout,gen}-labeled phase series, so
+// concurrent scrapes see every rollout's terminal phase — not just the
+// last writer's.
 func (c *Controller) RegisterMetrics(reg *obs.Registry) {
+	c.reg = reg
+	c.rollup.Bind(reg)
+	reg.AttachCounter("fleet_telemetry_reports_total", "telemetry reports validated, cross-checked, and absorbed", &c.telemetryReports)
+	reg.AttachCounter("fleet_telemetry_rejects_total", "telemetry reports rejected (invalid, stale, or counter-divergent)", &c.telemetryRejects)
 	reg.GaugeFunc("fleet_rollout_phase", "current rollout phase (0=idle 1=canary 2=bake 3=promote 4=promoted 5=rolled-back)",
 		func() int64 { return int64(c.phase.Load()) })
 	reg.GaugeFunc("fleet_quarantined_hosts", "hosts quarantined by inventory validation",

@@ -264,3 +264,22 @@ func SwapSemantics(src, a, b string) (string, error) {
 	s = strings.ReplaceAll(s, hold, tb)
 	return s, nil
 }
+
+// StripSemantics returns src with the named @semantic annotations removed:
+// the fields remain, but the description no longer advertises them, so the
+// compiler falls back to SoftNIC shims for those semantics. Deliveries stay
+// correct — the shim computes ground truth — but every read pays the soft
+// path. Health-counter bakes see zero violations and promote; only the
+// flight-evidence latency gate catches the regression (E21's tampered
+// upgrade).
+func StripSemantics(src string, sems ...string) (string, error) {
+	out := src
+	for _, s := range sems {
+		tag := fmt.Sprintf("@semantic(%q)", s)
+		if !strings.Contains(out, tag) {
+			return "", fmt.Errorf("fleet: source lacks %s", tag)
+		}
+		out = strings.ReplaceAll(out, tag, "")
+	}
+	return out, nil
+}

@@ -5,8 +5,11 @@ import (
 
 	"opendesc/internal/codegen"
 	"opendesc/internal/core"
+	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
+	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
 	"opendesc/internal/retry"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
@@ -17,6 +20,9 @@ import (
 type HostOptions struct {
 	// RingEntries sizes the completion ring (default 256).
 	RingEntries int
+	// FlightEntries sizes the host flight-recorder ring (default 1024;
+	// ~40 KB per host — telemetry reports are built from it).
+	FlightEntries int
 	// Clock is the host's timeline (trial leases are measured on it);
 	// nil selects the wall clock.
 	Clock vclock.Clock
@@ -31,6 +37,9 @@ func (o HostOptions) withDefaults() HostOptions {
 	if o.RingEntries <= 0 {
 		o.RingEntries = 256
 	}
+	if o.FlightEntries <= 0 {
+		o.FlightEntries = 1024
+	}
 	if o.Clock == nil {
 		o.Clock = vclock.Wall()
 	}
@@ -39,6 +48,21 @@ func (o HostOptions) withDefaults() HostOptions {
 	}
 	return o
 }
+
+// Per-delivery service cost model, charged to the host's (virtual) clock
+// and observed into the serving layout's latency histogram. The constants
+// mirror the measured shape of the real datapath — a fixed poll/validate
+// base plus per-accessor reads, where a SoftNIC shim fallback costs an
+// order of magnitude more than a synthesized hardware read (E4/E11). They
+// exist so p99 poll→deliver latency is a *deterministic* function of the
+// layout: a tampered description that silently demotes hardware reads to
+// shims shifts the histogram by whole log2 buckets, which is exactly the
+// signal the evidence bake gates on.
+const (
+	deliverBaseNs = 40
+	hwReadNs      = 15
+	softReadNs    = 440
+)
 
 // goldenFuncs is the per-semantic ground truth the embedded oracle can
 // check a delivery against: pure functions of the packet bytes (the same
@@ -71,17 +95,27 @@ type goldenCheck struct {
 }
 
 // layout is one installed interface generation: the compiled result, its
-// executable accessors, and the oracle probes derived from both.
+// executable accessors, the oracle probes derived from both, the modelled
+// per-delivery service cost, and the latency histogram deliveries under it
+// feed (the telemetry report's deliver_ns series).
 type layout struct {
 	gen    uint64
 	res    *core.Result
 	rt     *codegen.Runtime
 	checks []goldenCheck
+	costNs uint64
+	hist   *obs.Histogram
 }
 
 func newLayout(gen uint64, res *core.Result, golden map[semantics.Name]codegen.SoftFunc) *layout {
-	l := &layout{gen: gen, res: res, rt: codegen.NewRuntime(res, softnic.Funcs())}
+	l := &layout{gen: gen, res: res, rt: codegen.NewRuntime(res, softnic.Funcs()), hist: obs.NewHistogram()}
+	l.costNs = deliverBaseNs
 	for _, a := range res.Accessors {
+		if a.Hardware {
+			l.costNs += hwReadNs
+		} else {
+			l.costNs += softReadNs
+		}
 		fn, ok := golden[a.Semantic]
 		if !ok {
 			continue
@@ -101,6 +135,7 @@ type parkedPkt struct {
 	pkt  []byte
 	cmpt []byte
 	lay  *layout
+	rxNs uint64
 }
 
 // Health is the host's self-reported canary health: the S23 invariant
@@ -156,12 +191,26 @@ type Host struct {
 	leaseReverts                  uint64
 	applyRetries                  uint64
 
+	// rec/fq are the host flight recorder and its event ring: anomaly
+	// events the telemetry report carries verbatim, sampled routine
+	// lifecycle events, and control-plane transitions — all stamped with
+	// the host's (virtual) clock so fleet traces share one timeline.
+	rec   *flight.Recorder
+	fq    *flight.Queue
+	rxSeq uint32
+
+	telemetrySeq    uint64
 	describeMutator func(*Description)
+	// telemetryMutator models a host shipping forged telemetry (the
+	// reports re-seal, so only the controller's counter cross-check can
+	// catch them).
+	telemetryMutator func(*telemetry.Report)
 }
 
 type pendingPkt struct {
-	pkt []byte
-	gen uint64
+	pkt  []byte
+	gen  uint64
+	rxNs uint64
 }
 
 // NewHost boots a host: device from the bundled model, self-provisioned
@@ -173,6 +222,7 @@ func NewHost(name string, m *nic.Model, opts HostOptions) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := flight.NewRecorder(flight.Config{Size: opts.FlightEntries})
 	h := &Host{
 		Name:         name,
 		Model:        m,
@@ -180,6 +230,8 @@ func NewHost(name string, m *nic.Model, opts HostOptions) (*Host, error) {
 		clk:          opts.Clock,
 		golden:       goldenFuncs(),
 		garbageByGen: make(map[uint64]uint64),
+		rec:          rec,
+		fq:           rec.Queue(name),
 	}
 	names := make([]semantics.Name, len(opts.BootSemantics))
 	for i, s := range opts.BootSemantics {
@@ -248,13 +300,19 @@ func (h *Host) tick() {
 // Rx offers one packet to the device; false means ring backpressure.
 func (h *Host) Rx(pkt []byte) bool {
 	h.tick()
+	h.rxSeq++
+	now := h.clk.Now()
 	if !h.dev.RxPacket(pkt) {
 		h.rejected++
+		h.fq.RecordT(now, flight.EvRingFull, h.rxSeq, uint64(len(h.pending)), 0)
 		return false
 	}
-	h.pending = append(h.pending, pendingPkt{pkt: pkt, gen: h.active().gen})
+	h.pending = append(h.pending, pendingPkt{pkt: pkt, gen: h.active().gen, rxNs: now})
 	h.fifo = append(h.fifo, pkt)
 	h.accepted++
+	if flight.Sampled(h.rxSeq) {
+		h.fq.RecordT(now, flight.EvRingPush, h.rxSeq, uint64(len(h.pending)), 0)
+	}
 	return true
 }
 
@@ -264,7 +322,7 @@ func (h *Host) Poll() int {
 	h.tick()
 	n := 0
 	for _, d := range h.parked {
-		h.deliver(d.pkt, d.cmpt, d.lay)
+		h.deliver(d.pkt, d.cmpt, d.lay, d.rxNs)
 		n++
 	}
 	h.parked = h.parked[:0]
@@ -272,7 +330,7 @@ func (h *Host) Poll() int {
 	for len(h.pending) > 0 {
 		p := h.pending[0]
 		if !h.dev.CmptRing.Consume(func(cmpt []byte) {
-			h.deliver(p.pkt, cmpt, lay)
+			h.deliver(p.pkt, cmpt, lay, p.rxNs)
 		}) {
 			break
 		}
@@ -284,11 +342,27 @@ func (h *Host) Poll() int {
 
 // deliver checks one delivery against the S23 oracle family: exactly-once
 // in order (FIFO, by slice identity) and golden metadata (every checkable
-// read equals the SoftNIC ground truth under the accessor's width).
-func (h *Host) deliver(pkt, cmpt []byte, lay *layout) {
+// read equals the SoftNIC ground truth under the accessor's width). The
+// layout's modelled service cost is charged to the host clock and observed
+// into its latency histogram; oracle violations are recorded as flight
+// anomalies so telemetry reports can cite them verbatim.
+//
+// EvDeliver rides the flight sampling grid (plus every anomalous delivery):
+// the latency evidence the controller gates on is the always-on per-packet
+// histogram, so sampling only thins the verbatim exhibit events — and keeps
+// the telemetry instrumentation tax inside the recorder's 5% hot-path
+// budget (E21 measures and enforces it).
+func (h *Host) deliver(pkt, cmpt []byte, lay *layout, rxNs uint64) {
+	pollNs := h.clk.Now()
+	h.clk.Advance(lay.costNs)
+	now := h.clk.Now()
+	seq := uint32(h.delivered + 1)
+	anomalous := false
 	if len(h.fifo) == 0 || &h.fifo[0][0] != &pkt[0] {
 		h.orderViol++
+		anomalous = true
 		h.note(fmt.Sprintf("gen %d: delivery out of order or duplicated", lay.gen))
+		h.fq.RecordT(now, flight.EvOrderViol, seq, 0, lay.gen)
 	} else {
 		h.fifo = h.fifo[1:]
 	}
@@ -300,10 +374,20 @@ func (h *Host) deliver(pkt, cmpt []byte, lay *layout) {
 		if want := c.fn(pkt) & c.mask; got != want {
 			h.garbage++
 			h.garbageByGen[lay.gen]++
+			anomalous = true
 			h.note(fmt.Sprintf("gen %d: read %s = %#x, ground truth %#x", lay.gen, c.sem, got, want))
+			h.fq.RecordT(now, flight.EvGarbage, seq, flight.PackName(string(c.sem)), lay.gen)
 		}
 	}
 	h.delivered++
+	lay.hist.Observe(lay.costNs)
+	if anomalous || flight.Sampled(seq) {
+		var pollLat uint64
+		if rxNs > 0 && pollNs > rxNs {
+			pollLat = pollNs - rxNs
+		}
+		h.fq.RecordT(now, flight.EvDeliver, seq, pollLat, pollLat+lay.costNs)
+	}
 }
 
 func (h *Host) note(detail string) {
@@ -319,7 +403,7 @@ func (h *Host) drain(lay *layout) {
 	for len(h.pending) > 0 {
 		p := h.pending[0]
 		if !h.dev.CmptRing.Consume(func(cmpt []byte) {
-			h.parked = append(h.parked, parkedPkt{pkt: p.pkt, cmpt: append([]byte(nil), cmpt...), lay: lay})
+			h.parked = append(h.parked, parkedPkt{pkt: p.pkt, cmpt: append([]byte(nil), cmpt...), lay: lay, rxNs: p.rxNs})
 		}) {
 			break
 		}
@@ -358,8 +442,11 @@ func (h *Host) ApplyTrial(gen uint64, res *core.Result, leaseNs uint64) error {
 		}
 		return fmt.Errorf("fleet host %s: verify gen %d: %w", h.Name, gen, err)
 	}
+	now := h.clk.Now()
+	h.fq.RecordT(now, flight.EvApply, uint32(gen), 0, gen)
+	h.fq.RecordT(now, flight.EvVerify, uint32(gen), 0, gen)
 	h.trial = newLayout(gen, res, h.golden)
-	h.trialExpiry = h.clk.Now() + leaseNs
+	h.trialExpiry = now + leaseNs
 	return nil
 }
 
@@ -370,6 +457,7 @@ func (h *Host) Commit(gen uint64) error {
 	if h.trial == nil || h.trial.gen != gen {
 		return fmt.Errorf("fleet host %s: no open trial for gen %d", h.Name, gen)
 	}
+	h.fq.RecordT(h.clk.Now(), flight.EvSwap, uint32(gen), 0, gen)
 	h.lkg = h.trial
 	h.trial = nil
 	h.trialExpiry = 0
@@ -390,10 +478,12 @@ func (h *Host) Abort(gen uint64) error {
 // revertToLKG drains in-flight traffic under the trial, restores the
 // last-known-good configuration, and drops the trial.
 func (h *Host) revertToLKG() error {
+	gen := h.trial.gen
 	h.drain(h.trial)
 	if err := h.applyConfig(h.lkg.res.Config); err != nil {
 		return fmt.Errorf("fleet host %s: revert: %w", h.Name, err)
 	}
+	h.fq.RecordT(h.clk.Now(), flight.EvRollback, uint32(gen), 0, gen)
 	h.trial = nil
 	h.trialExpiry = 0
 	return nil
@@ -426,6 +516,69 @@ func (h *Host) GarbageByGen() map[uint64]uint64 {
 	}
 	return out
 }
+
+// TelemetryReport builds the host's next telemetry report: cumulative
+// counters, the serving layout's latency histogram, and the flight-ring
+// evidence (anomalies verbatim, slowest deliveries as exhibits). Seq is
+// monotonic per host; the controller rejects non-advancing sequences.
+func (h *Host) TelemetryReport() *telemetry.Report {
+	h.tick()
+	h.telemetrySeq++
+	lay := h.active()
+	anoms, slowest, trunc := telemetry.FromFlight(h.rec.Snapshot(), 0)
+	r := &telemetry.Report{
+		Host:  h.Name,
+		NIC:   h.Model.Name,
+		Seq:   h.telemetrySeq,
+		NowNs: h.clk.Now(),
+		Gen:   lay.gen,
+		Trial: h.trial != nil,
+		Counters: telemetry.Counters{
+			Accepted:        h.accepted,
+			Delivered:       h.delivered,
+			Garbage:         h.garbage,
+			OrderViolations: h.orderViol,
+			LeaseReverts:    h.leaseReverts,
+		},
+		Deliver:   lay.hist.Snapshot(),
+		Anomalies: anoms,
+		Truncated: trunc,
+		Slowest:   slowest,
+	}
+	if h.telemetryMutator != nil {
+		h.telemetryMutator(r)
+	}
+	return r
+}
+
+// Telemetry builds, seals, and serializes the next report — what actually
+// crosses the Link. A mutated (forged) report re-seals with a valid digest:
+// integrity checks pass and only the controller's counter cross-check can
+// expose it, which is the point.
+func (h *Host) Telemetry() ([]byte, error) {
+	r := h.TelemetryReport()
+	b, err := r.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("fleet host %s: telemetry: %w", h.Name, err)
+	}
+	h.fq.RecordT(h.clk.Now(), flight.EvTelemetry, uint32(r.Seq), uint64(len(b)), 0)
+	return b, nil
+}
+
+// SetTelemetryMutator installs the forged-telemetry hook (chaos and test
+// coverage for the controller's cross-check).
+func (h *Host) SetTelemetryMutator(fn func(*telemetry.Report)) { h.telemetryMutator = fn }
+
+// FlightRecorder exposes the host's flight recorder (snapshotting for
+// merged fleet traces, A/B enable toggling in benchmarks).
+func (h *Host) FlightRecorder() *flight.Recorder { return h.rec }
+
+// FlightSnapshot copies the host's full flight ring.
+func (h *Host) FlightSnapshot() *flight.Snapshot { return h.rec.Snapshot() }
+
+// DeliverCostNs reports the serving layout's modelled per-delivery service
+// cost (deterministic; tests and experiments pin budgets against it).
+func (h *Host) DeliverCostNs() uint64 { return h.active().costNs }
 
 // PendingCount reports packets accepted but not yet delivered.
 func (h *Host) PendingCount() int { return len(h.pending) + len(h.parked) }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 
 	"opendesc/internal/vclock"
 )
@@ -19,12 +20,14 @@ var ErrDeadline = errors.New("fleet: rpc deadline exceeded")
 type Link struct {
 	clk       vclock.Clock
 	latencyNs uint64
+	perByteNs uint64
 
 	down     bool
 	failNext int
 
 	calls    uint64
 	timeouts uint64
+	bytes    uint64
 }
 
 // NewLink builds a link with the given one-way latency on clk.
@@ -34,6 +37,11 @@ func NewLink(clk vclock.Clock, latencyNs uint64) *Link {
 	}
 	return &Link{clk: clk, latencyNs: latencyNs}
 }
+
+// SetPerByteNs charges payload-carrying calls (telemetry reports) this much
+// per byte on top of the base latency. Zero (the default) keeps plain
+// control RPCs and every pre-existing scenario byte-identical.
+func (l *Link) SetPerByteNs(ns uint64) { l.perByteNs = ns }
 
 // Partition takes the link down until Heal; calls burn their full deadline
 // and fail.
@@ -53,6 +61,16 @@ func (l *Link) FailNext(n int) { l.failNext = n }
 // the whole deadline (the realistic worst case — the controller blocked
 // waiting); a successful one costs the link latency.
 func (l *Link) call(deadlineNs uint64, fn func() error) error {
+	return l.transfer(deadlineNs, func() (int, error) { return 0, fn() })
+}
+
+// transfer runs one payload-carrying RPC: fn reports how many bytes the
+// reply carried, and the link charges base latency plus the per-byte cost.
+// A transfer whose total cost exceeds the deadline expires mid-flight —
+// the caller burned its whole deadline and got nothing, exactly like a
+// partition — so large telemetry reports cannot ride a deadline tuned for
+// small control RPCs unless the deadline accounts for the payload.
+func (l *Link) transfer(deadlineNs uint64, fn func() (int, error)) error {
 	l.calls++
 	if l.down || l.failNext > 0 {
 		if l.failNext > 0 {
@@ -62,9 +80,24 @@ func (l *Link) call(deadlineNs uint64, fn func() error) error {
 		l.clk.Advance(deadlineNs)
 		return ErrDeadline
 	}
-	l.clk.Advance(l.latencyNs)
-	return fn()
+	n, err := fn()
+	if err != nil {
+		l.clk.Advance(l.latencyNs)
+		return err
+	}
+	cost := l.latencyNs + uint64(n)*l.perByteNs
+	if l.perByteNs > 0 && cost > deadlineNs {
+		l.timeouts++
+		l.clk.Advance(deadlineNs)
+		return fmt.Errorf("%w (transfer of %d bytes needs %dns, deadline %dns)", ErrDeadline, n, cost, deadlineNs)
+	}
+	l.bytes += uint64(n)
+	l.clk.Advance(cost)
+	return nil
 }
 
 // Stats reports (calls, timeouts) for observability and tests.
 func (l *Link) Stats() (calls, timeouts uint64) { return l.calls, l.timeouts }
+
+// Bytes reports payload bytes successfully transferred.
+func (l *Link) Bytes() uint64 { return l.bytes }

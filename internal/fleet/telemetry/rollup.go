@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"opendesc/internal/obs"
+)
+
+// Rollup aggregates the latest accepted report per host into fleet-level
+// views: a merged delivery-latency histogram (fleet p99), anomaly rates,
+// and per-NIC-family / per-generation breakdowns. Because reports carry
+// cumulative counters and histograms, the rollup keeps only the most
+// recent report per host and re-derives every aggregate from that set —
+// merging successive reports from one host would double-count.
+//
+// Bind exposes the aggregates on an obs.Registry; per-family and
+// per-generation series are registered lazily (idempotently) as new labels
+// appear, through the registry's WithLabels views.
+type Rollup struct {
+	mu     sync.Mutex
+	latest map[string]*Report // host → newest accepted report
+
+	reg       *obs.Registry
+	boundFams map[string]bool
+	boundGens map[uint64]bool
+}
+
+// NewRollup returns an empty rollup.
+func NewRollup() *Rollup {
+	return &Rollup{
+		latest:    make(map[string]*Report),
+		boundFams: make(map[string]bool),
+		boundGens: make(map[uint64]bool),
+	}
+}
+
+// Absorb replaces the host's contribution with a newer accepted report.
+// Callers must have validated and cross-checked the report first; the
+// rollup aggregates, it does not judge.
+func (ru *Rollup) Absorb(r *Report) {
+	ru.mu.Lock()
+	ru.latest[r.Host] = r
+	reg := ru.reg
+	newFam := reg != nil && !ru.boundFams[r.NIC]
+	newGen := reg != nil && !ru.boundGens[r.Gen]
+	if newFam {
+		ru.boundFams[r.NIC] = true
+	}
+	if newGen {
+		ru.boundGens[r.Gen] = true
+	}
+	ru.mu.Unlock()
+	if newFam {
+		ru.bindFamily(reg, r.NIC)
+	}
+	if newGen {
+		ru.bindGeneration(reg, r.Gen)
+	}
+}
+
+// Hosts reports how many hosts currently contribute to the rollup.
+func (ru *Rollup) Hosts() int {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return len(ru.latest)
+}
+
+// FleetDeliver merges every contributing host's delivery histogram.
+func (ru *Rollup) FleetDeliver() obs.HistogramSnapshot {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var out obs.HistogramSnapshot
+	for _, r := range ru.latest {
+		out = out.Merge(r.Deliver)
+	}
+	return out
+}
+
+// FleetP99 is the fleet-wide p99 poll→deliver latency (ns).
+func (ru *Rollup) FleetP99() uint64 { return ru.FleetDeliver().Quantile(0.99) }
+
+// AnomalyRate is fleet oracle violations per delivered packet.
+func (ru *Rollup) AnomalyRate() float64 {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var bad, delivered uint64
+	for _, r := range ru.latest {
+		bad += r.Counters.Garbage + r.Counters.OrderViolations
+		delivered += r.Counters.Delivered
+	}
+	if delivered == 0 {
+		return 0
+	}
+	return float64(bad) / float64(delivered)
+}
+
+// FamilyStats is one NIC family's aggregate view.
+type FamilyStats struct {
+	Family    string
+	Hosts     int
+	Delivered uint64
+	Anomalies uint64 // garbage + order violations
+	P99Ns     uint64
+}
+
+// Families returns per-NIC-family aggregates, sorted by family name.
+func (ru *Rollup) Families() []FamilyStats {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	byFam := map[string]*FamilyStats{}
+	hist := map[string]obs.HistogramSnapshot{}
+	for _, r := range ru.latest {
+		fs := byFam[r.NIC]
+		if fs == nil {
+			fs = &FamilyStats{Family: r.NIC}
+			byFam[r.NIC] = fs
+		}
+		fs.Hosts++
+		fs.Delivered += r.Counters.Delivered
+		fs.Anomalies += r.Counters.Garbage + r.Counters.OrderViolations
+		hist[r.NIC] = hist[r.NIC].Merge(r.Deliver)
+	}
+	out := make([]FamilyStats, 0, len(byFam))
+	for fam, fs := range byFam {
+		fs.P99Ns = hist[fam].Quantile(0.99)
+		out = append(out, *fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// GenStats is one serving generation's aggregate view. Cumulative host
+// counters are attributed to the host's current serving generation.
+type GenStats struct {
+	Gen       uint64
+	Hosts     int
+	Delivered uint64
+	P99Ns     uint64
+}
+
+// Generations returns per-serving-generation aggregates, ascending.
+func (ru *Rollup) Generations() []GenStats {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	byGen := map[uint64]*GenStats{}
+	hist := map[uint64]obs.HistogramSnapshot{}
+	for _, r := range ru.latest {
+		gs := byGen[r.Gen]
+		if gs == nil {
+			gs = &GenStats{Gen: r.Gen}
+			byGen[r.Gen] = gs
+		}
+		gs.Hosts++
+		gs.Delivered += r.Counters.Delivered
+		hist[r.Gen] = hist[r.Gen].Merge(r.Deliver)
+	}
+	out := make([]GenStats, 0, len(byGen))
+	for gen, gs := range byGen {
+		gs.P99Ns = hist[gen].Quantile(0.99)
+		out = append(out, *gs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Gen < out[j].Gen })
+	return out
+}
+
+// Bind exposes fleet-level aggregates on reg and arms lazy registration of
+// per-family and per-generation labeled series.
+func (ru *Rollup) Bind(reg *obs.Registry) {
+	ru.mu.Lock()
+	ru.reg = reg
+	ru.mu.Unlock()
+	reg.GaugeFunc("fleet_telemetry_hosts", "hosts contributing a validated telemetry report",
+		func() int64 { return int64(ru.Hosts()) })
+	reg.GaugeFunc("fleet_deliver_p99_ns", "fleet-wide p99 poll→deliver latency from merged host reports",
+		func() int64 { return int64(ru.FleetP99()) })
+	reg.FloatFunc("fleet_anomaly_rate", "fleet oracle violations per delivered packet",
+		func() float64 { return ru.AnomalyRate() })
+}
+
+func (ru *Rollup) family(fam string) FamilyStats {
+	for _, fs := range ru.Families() {
+		if fs.Family == fam {
+			return fs
+		}
+	}
+	return FamilyStats{Family: fam}
+}
+
+func (ru *Rollup) generation(gen uint64) GenStats {
+	for _, gs := range ru.Generations() {
+		if gs.Gen == gen {
+			return gs
+		}
+	}
+	return GenStats{Gen: gen}
+}
+
+func (ru *Rollup) bindFamily(reg *obs.Registry, fam string) {
+	v := reg.WithLabels(obs.L("family", fam))
+	v.GaugeFunc("fleet_family_deliver_p99_ns", "per-NIC-family p99 poll→deliver latency",
+		func() int64 { return int64(ru.family(fam).P99Ns) })
+	v.CounterFunc("fleet_family_delivered_total", "per-NIC-family delivered packets (latest reports)",
+		func() uint64 { return ru.family(fam).Delivered })
+	v.CounterFunc("fleet_family_anomalies_total", "per-NIC-family oracle violations (latest reports)",
+		func() uint64 { return ru.family(fam).Anomalies })
+}
+
+func (ru *Rollup) bindGeneration(reg *obs.Registry, gen uint64) {
+	v := reg.WithLabels(obs.L("gen", strconv.FormatUint(gen, 10)))
+	v.GaugeFunc("fleet_gen_hosts", "hosts serving this generation (latest reports)",
+		func() int64 { return int64(ru.generation(gen).Hosts) })
+	v.CounterFunc("fleet_gen_delivered_total", "delivered packets attributed to this serving generation",
+		func() uint64 { return ru.generation(gen).Delivered })
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opendesc/internal/obs"
+	"opendesc/internal/obs/flight"
+)
+
+func testReport(host string, seq uint64) *Report {
+	h := obs.NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(70)
+	}
+	return &Report{
+		Host: host, NIC: "e1000e", Seq: seq, NowNs: 12345, Gen: 2,
+		Counters: Counters{Accepted: 100, Delivered: 100},
+		Deliver:  h.Snapshot(),
+		Anomalies: []Anomaly{
+			{TS: 9000, Code: "garbage", Seq: 7, Arg0: flight.PackName("pkt_len"), Arg1: 3},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := testReport("h0", 1)
+	b, err := r.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Validate(b)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got.Host != "h0" || got.Seq != 1 || got.Counters.Delivered != 100 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.Deliver.Quantile(0.99) != 127 {
+		t.Errorf("p99 = %d, want 127 (log2 bucket upper of 70)", got.Deliver.Quantile(0.99))
+	}
+	if len(got.Anomalies) != 1 || got.Anomalies[0].Code != "garbage" {
+		t.Errorf("anomalies did not survive: %+v", got.Anomalies)
+	}
+	if !strings.Contains(got.Anomalies[0].String(), "sem pkt_len") {
+		t.Errorf("anomaly citation %q lacks the semantic name", got.Anomalies[0].String())
+	}
+}
+
+func TestReportTamperDetection(t *testing.T) {
+	b, err := testReport("h0", 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the delivered counter in transit: the digest must catch it.
+	tampered := bytes.Replace(b, []byte(`"delivered": 100`), []byte(`"delivered": 999`), 1)
+	if bytes.Equal(tampered, b) {
+		t.Fatal("tamper target not found in encoding")
+	}
+	if _, err := Validate(tampered); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("tampered report validated (err=%v), want digest mismatch", err)
+	}
+}
+
+func TestReportValidateRejections(t *testing.T) {
+	if _, err := Validate(bytes.Repeat([]byte("x"), MaxReportBytes+1)); err == nil {
+		t.Error("oversized report accepted")
+	}
+	if _, err := Validate([]byte(`{"schema":"opendesc-telemetry/v0"}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema accepted (err=%v)", err)
+	}
+	// A histogram whose Count disagrees with its buckets is forged.
+	r := testReport("h0", 1)
+	r.Deliver.Count++
+	b, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(b); err == nil || !strings.Contains(err.Error(), "reconcile") {
+		t.Errorf("non-reconciling histogram accepted (err=%v)", err)
+	}
+}
+
+func TestFromFlight(t *testing.T) {
+	rec := flight.NewRecorder(flight.Config{Size: 256})
+	q := rec.Queue("h0")
+	// Routine deliveries plus anomalies, some before the window cutoff.
+	q.RecordT(50, flight.EvGarbage, 1, flight.PackName("rss"), 1) // before cutoff: excluded
+	for i := uint32(1); i <= 20; i++ {
+		q.RecordT(100+uint64(i), flight.EvDeliver, i, 10, uint64(100+i*10))
+	}
+	q.RecordT(200, flight.EvGarbage, 21, flight.PackName("pkt_len"), 3)
+	q.RecordT(210, flight.EvOrderViol, 22, 0, 3)
+	q.RecordT(220, flight.EvRingFull, 23, 128, 0)
+
+	anoms, slowest, trunc := FromFlight(rec.Snapshot(), 99)
+	if trunc != 0 {
+		t.Errorf("truncated %d, want 0", trunc)
+	}
+	if len(anoms) != 3 {
+		t.Fatalf("anomalies %d, want 3 (window excludes ts=50): %+v", len(anoms), anoms)
+	}
+	if anoms[0].Code != "garbage" || anoms[1].Code != "order_viol" || anoms[2].Code != "ring_full" {
+		t.Errorf("anomaly order/codes wrong: %+v", anoms)
+	}
+	if len(slowest) != MaxSlowest {
+		t.Fatalf("slowest %d, want %d", len(slowest), MaxSlowest)
+	}
+	// Worst-first by poll→deliver latency.
+	if slowest[0].Arg1 != 300 || slowest[MaxSlowest-1].Arg1 <= slowest[0].Arg1-uint64(MaxSlowest)*10 {
+		t.Errorf("slowest ordering wrong: %+v", slowest)
+	}
+}
+
+func TestFromFlightTruncation(t *testing.T) {
+	rec := flight.NewRecorder(flight.Config{Size: 1024})
+	q := rec.Queue("h0")
+	for i := uint32(1); i <= MaxAnomalies+10; i++ {
+		q.RecordT(uint64(i), flight.EvGarbage, i, flight.PackName("rss"), 2)
+	}
+	anoms, _, trunc := FromFlight(rec.Snapshot(), 0)
+	if len(anoms) != MaxAnomalies || trunc != 10 {
+		t.Fatalf("anomalies %d truncated %d, want %d/%d", len(anoms), trunc, MaxAnomalies, 10)
+	}
+	// The freshest events are kept.
+	if anoms[len(anoms)-1].TS != uint64(MaxAnomalies+10) {
+		t.Errorf("last kept anomaly ts %d, want %d", anoms[len(anoms)-1].TS, MaxAnomalies+10)
+	}
+}
+
+func TestRollupAggregates(t *testing.T) {
+	ru := NewRollup()
+	reg := obs.NewRegistry()
+	ru.Bind(reg)
+
+	r1 := testReport("h0", 1)
+	ru.Absorb(r1)
+	// A newer report from the same host replaces, never double-counts.
+	r2 := testReport("h0", 2)
+	r2.Counters.Delivered = 200
+	h := obs.NewHistogram()
+	for i := 0; i < 200; i++ {
+		h.Observe(70)
+	}
+	r2.Deliver = h.Snapshot()
+	ru.Absorb(r2)
+
+	r3 := testReport("h1", 1)
+	r3.NIC = "mlx5"
+	r3.Gen = 3
+	r3.Counters.Garbage = 2
+	hb := obs.NewHistogram()
+	for i := 0; i < 100; i++ {
+		hb.Observe(900)
+	}
+	r3.Deliver = hb.Snapshot()
+	ru.Absorb(r3)
+
+	if ru.Hosts() != 2 {
+		t.Fatalf("hosts %d, want 2", ru.Hosts())
+	}
+	fd := ru.FleetDeliver()
+	if fd.Count != 300 {
+		t.Errorf("fleet deliver count %d, want 300 (no double counting)", fd.Count)
+	}
+	if p99 := ru.FleetP99(); p99 != 1023 {
+		t.Errorf("fleet p99 %d, want 1023 (100/300 observations at 900ns)", p99)
+	}
+	if rate := ru.AnomalyRate(); rate != 2.0/300 {
+		t.Errorf("anomaly rate %v, want %v", rate, 2.0/300)
+	}
+
+	fams := ru.Families()
+	if len(fams) != 2 || fams[0].Family != "e1000e" || fams[1].Family != "mlx5" {
+		t.Fatalf("families: %+v", fams)
+	}
+	if fams[0].Delivered != 200 || fams[1].Anomalies != 2 || fams[1].P99Ns != 1023 {
+		t.Errorf("family stats wrong: %+v", fams)
+	}
+	gens := ru.Generations()
+	if len(gens) != 2 || gens[0].Gen != 2 || gens[1].Gen != 3 || gens[1].Hosts != 1 {
+		t.Errorf("generation stats wrong: %+v", gens)
+	}
+
+	// Labeled series appeared on the registry.
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"fleet_deliver_p99_ns 1023",
+		`fleet_family_deliver_p99_ns{family="mlx5"} 1023`,
+		`fleet_family_delivered_total{family="e1000e"} 200`,
+		`fleet_gen_hosts{gen="3"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSpansRoundTripAndFleetTrace(t *testing.T) {
+	tr := NewTrace()
+	ro := tr.Begin("rollout widen gen 2", "rollout", "rollout", 1000, map[string]string{"gen": "2"})
+	trial := tr.Begin("trial e1000e-0", "trial", "e1000e-0", 1100, nil)
+	tr.Instant("promote", "verdict", "rollout", 1900, nil)
+	tr.End(trial, 1800)
+	tr.End(ro, 2000)
+
+	var sb bytes.Buffer
+	if err := WriteSpans(&sb, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(bytes.NewReader(sb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 || spans[0].EndNs != 2000 || spans[1].Track != "e1000e-0" {
+		t.Fatalf("span round trip: %+v", spans)
+	}
+	if _, err := ReadSpans(strings.NewReader(`{"schema":"nope","spans":[]}`)); err == nil {
+		t.Error("wrong span schema accepted")
+	}
+
+	rec := flight.NewRecorder(flight.Config{Size: 64})
+	rec.Queue("e1000e-0").RecordT(1500, flight.EvGarbage, 7, flight.PackName("rss"), 2)
+	var out bytes.Buffer
+	err = WriteFleetTrace(&out, spans, []flight.NamedSnapshot{{Name: "e1000e-0", Snap: rec.Snapshot()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		`"name":"controller"`, `"name":"rollout widen gen 2"`, `"ph":"X"`,
+		`"name":"e1000e-0"`, `"name":"garbage"`, `"name":"promote"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fleet trace missing %s\n%s", want, s)
+		}
+	}
+}

@@ -83,6 +83,12 @@ func fmtArgs(ev Event) string {
 		return fmt.Sprintf("burst=%d", ev.Arg0)
 	case EvHangClear:
 		return fmt.Sprintf("refused=%d", ev.Arg0)
+	case EvGarbage:
+		return fmt.Sprintf("sem=%s gen=%d", UnpackName(ev.Arg0), ev.Arg1)
+	case EvOrderViol:
+		return fmt.Sprintf("gen=%d", ev.Arg1)
+	case EvTelemetry:
+		return fmt.Sprintf("bytes=%d", ev.Arg0)
 	default:
 		if ev.Arg0 == 0 && ev.Arg1 == 0 {
 			return ""
@@ -247,9 +253,11 @@ func ReadDump(r io.Reader) (*Snapshot, error) {
 	return snap, nil
 }
 
-// chromeEvent is one entry of the Chrome trace_event format (the JSON array
-// flavor), loadable in chrome://tracing and Perfetto.
-type chromeEvent struct {
+// ChromeEvent is one entry of the Chrome trace_event format (the JSON array
+// flavor), loadable in chrome://tracing and Perfetto. Exported so fleet
+// trace writers can merge controller spans with host flight events into one
+// timeline.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"` // microseconds
@@ -261,21 +269,29 @@ type chromeEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace renders the snapshot as Chrome trace_event JSON. Each
-// queue becomes a named thread; EvDeliver events (which carry the completion
-// latency in their args) become duration spans covering DMA→deliver, and
-// everything else becomes instant events.
-func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
-	tr := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+// TraceEvents renders the snapshot's queues as Chrome trace_event entries
+// under the given process id. Each queue becomes a named thread; EvDeliver
+// events (which carry the completion latency in their args) become duration
+// spans covering DMA→deliver, and everything else becomes instant events.
+// A non-empty process labels the pid with a process_name metadata event
+// (used by merged multi-host traces; the single-snapshot export omits it).
+func (s *Snapshot) TraceEvents(pid int, process string) []ChromeEvent {
+	out := []ChromeEvent{}
+	if process != "" {
+		out = append(out, ChromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": process},
+		})
+	}
 	qs := append([]QueueEvents(nil), s.Queues...)
 	sort.Slice(qs, func(i, j int) bool { return qs[i].ID < qs[j].ID })
 	for _, q := range qs {
-		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 1, TID: int(q.ID),
+		out = append(out, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: int(q.ID),
 			Args: map[string]any{"name": q.Name},
 		})
 		for _, ev := range q.Events {
@@ -285,11 +301,11 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 				if ev.Arg1 <= ev.TS {
 					start = ev.TS - ev.Arg1
 				}
-				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				out = append(out, ChromeEvent{
 					Name: "completion", Ph: "X",
 					TS:  float64(start) / 1e3,
 					Dur: float64(ev.Arg1) / 1e3,
-					PID: 1, TID: int(q.ID),
+					PID: pid, TID: int(q.ID),
 					Args: map[string]any{
 						"seq":               ev.Seq,
 						"dma_to_poll_ns":    ev.Arg0,
@@ -307,16 +323,52 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 					args["arg0"] = ev.Arg0
 					args["arg1"] = ev.Arg1
 				}
-				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				out = append(out, ChromeEvent{
 					Name: ev.Code.String(), Ph: "i",
-					TS: float64(ev.TS) / 1e3, PID: 1, TID: int(q.ID),
+					TS: float64(ev.TS) / 1e3, PID: pid, TID: int(q.ID),
 					S: "t", Args: args,
 				})
 			}
 		}
 	}
+	return out
+}
+
+// WriteChromeTrace renders the snapshot as Chrome trace_event JSON.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	return WriteTraceEvents(w, s.TraceEvents(1, ""))
+}
+
+// WriteTraceEvents encodes pre-built trace entries as one Chrome
+// trace_event JSON document.
+func WriteTraceEvents(w io.Writer, evs []ChromeEvent) error {
+	if evs == nil {
+		evs = []ChromeEvent{}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(tr)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ns", TraceEvents: evs})
+}
+
+// NamedSnapshot pairs a snapshot with the host (or process) it came from,
+// for merged multi-host trace export.
+type NamedSnapshot struct {
+	Name string
+	Snap *Snapshot
+}
+
+// WriteMergedChromeTrace renders N snapshots as one time-aligned Chrome
+// trace: one process per snapshot (named), one thread per queue. Event
+// timestamps are used raw — hosts recorded on a shared (virtual) timeline
+// already align, which is the fleet-simulation case this exists for; wall-
+// clock dumps from different processes align only as well as their epochs
+// do (each process's epoch is reported in its process_sort_index metadata
+// absence — inspect `opendesc flight <dump>` text output for epochs).
+func WriteMergedChromeTrace(w io.Writer, snaps []NamedSnapshot) error {
+	evs := []ChromeEvent{}
+	for i, ns := range snaps {
+		evs = append(evs, ns.Snap.TraceEvents(i+1, ns.Name)...)
+	}
+	return WriteTraceEvents(w, evs)
 }
 
 // Dump renders the full buffer as human-readable text.

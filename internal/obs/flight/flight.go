@@ -84,6 +84,13 @@ const (
 	EvHangStart // scheduled device hang began; arg0 = planned burst
 	EvHangClear // device reset cleared a hang; arg0 = packets refused while wedged
 
+	// Fleet datapath oracles and telemetry (fleet.Host). These are the
+	// anomaly events a telemetry report always carries verbatim; the
+	// controller cites them in evidence-bake rollback reasons.
+	EvGarbage   // golden-metadata oracle violation; arg0 = packed semantic name, arg1 = generation
+	EvOrderViol // exactly-once/FIFO violation; arg1 = generation
+	EvTelemetry // telemetry report built; seq = report sequence, arg0 = report bytes
+
 	numCodes
 )
 
@@ -119,6 +126,9 @@ var codeNames = [numCodes]string{
 	EvFault:        "fault",
 	EvHangStart:    "hang_start",
 	EvHangClear:    "hang_clear",
+	EvGarbage:      "garbage",
+	EvOrderViol:    "order_viol",
+	EvTelemetry:    "telemetry",
 }
 
 // SamplePeriod is the 1-in-N period for routine per-packet events (DMA

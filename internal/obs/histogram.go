@@ -117,6 +117,22 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Merge returns the bucket-wise sum of s and o: the histogram that would
+// result from observing both underlying series into one histogram. Count is
+// recomputed from the merged buckets (so a merged snapshot always
+// reconciles, even if an input was hand-built) and Sum is the sum of sums.
+// Fleet rollups use it to aggregate per-host latency reports without
+// re-binning.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	for i := range out.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+		out.Count += out.Buckets[i]
+	}
+	out.Sum = s.Sum + o.Sum
+	return out
+}
+
 // Quantile returns the upper bound of the bucket containing the q-quantile
 // (0 ≤ q ≤ 1) of the frozen snapshot — the same estimate Histogram.Quantile
 // gives, but computed over an immutable copy so exported perf records are

@@ -105,3 +105,60 @@ func TestSnapshotMatchesLiveUnderLoad(t *testing.T) {
 		t.Errorf("live p99 = %d, want > %d after heavy right tail", live, p99)
 	}
 }
+
+// TestSnapshotMerge: merging two snapshots equals observing both series
+// into one histogram — bucket-wise, and Count/Sum reconcile.
+func TestSnapshotMerge(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := uint64(1); i <= 500; i++ {
+		a.Observe(i)
+		both.Observe(i)
+	}
+	for i := uint64(1000); i <= 1100; i++ {
+		b.Observe(i)
+		both.Observe(i)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	want := both.Snapshot()
+	if m != want {
+		t.Fatalf("merge mismatch:\n got  %+v\n want %+v", m, want)
+	}
+	if m.Count != a.Snapshot().Count+b.Snapshot().Count {
+		t.Errorf("merged count %d, want %d", m.Count, a.Snapshot().Count+b.Snapshot().Count)
+	}
+	if m.Sum != a.Snapshot().Sum+b.Snapshot().Sum {
+		t.Errorf("merged sum %d, want %d", m.Sum, a.Snapshot().Sum+b.Snapshot().Sum)
+	}
+	// Quantiles of the merge match the combined histogram exactly (same
+	// buckets, same ranks).
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if m.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.2f: merged %d, combined %d", q, m.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestSnapshotMergeReconciles: Count is recomputed from the merged buckets,
+// so a hand-built (lying) input cannot produce an inconsistent merge — the
+// property fleet rollups rely on when aggregating untrusted host reports.
+func TestSnapshotMergeReconciles(t *testing.T) {
+	var lying HistogramSnapshot
+	lying.Buckets[3] = 7
+	lying.Count = 9999 // inconsistent with the buckets
+	lying.Sum = 42
+	m := lying.Merge(HistogramSnapshot{})
+	if m.Count != 7 {
+		t.Errorf("merged count %d, want 7 (recomputed from buckets)", m.Count)
+	}
+	if m.Sum != 42 {
+		t.Errorf("merged sum %d, want 42", m.Sum)
+	}
+	// Merging empties is the identity on an honest snapshot.
+	h := NewHistogram()
+	h.Observe(5)
+	h.Observe(300)
+	s := h.Snapshot()
+	if got := s.Merge(HistogramSnapshot{}); got != s {
+		t.Errorf("identity merge changed the snapshot: %+v vs %+v", got, s)
+	}
+}
