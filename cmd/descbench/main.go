@@ -1,5 +1,5 @@
 // Command descbench regenerates the OpenDesc experiment tables (DESIGN.md
-// index E1–E21), emits the machine-readable benchmark artifacts
+// index E1–E22), emits the machine-readable benchmark artifacts
 // (BENCH_<name>.json, schema opendesc-bench/v1), and compares two artifacts
 // for the CI perf gate.
 //
@@ -190,6 +190,13 @@ func runExperiments(args []string) int {
 		{"e19", func() (*bench.Table, error) { return bench.E19Tenants(*packets * 8) }},
 		{"e20", func() (*bench.Table, error) { return bench.E20Fleet(*packets * 4) }},
 		{"e21", func() (*bench.Table, error) { return bench.E21Telemetry(*packets * 8) }},
+		{"e22", func() (*bench.Table, error) {
+			n := 32
+			if *quick {
+				n = 8
+			}
+			return bench.E22Diffverify(n)
+		}},
 	}
 
 	want := map[string]bool{}
@@ -220,7 +227,7 @@ func runExperiments(args []string) int {
 	}
 	stopProfile(prof)
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e21)\n", fs.Args())
+		fmt.Fprintf(os.Stderr, "descbench: no experiment matched %v (have e1..e6, e8..e22)\n", fs.Args())
 		return 1
 	}
 	return 0

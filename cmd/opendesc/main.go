@@ -18,6 +18,9 @@
 //	opendesc chaos -replay repro.chaos   # replay a shrunk reproducer spec
 //	opendesc describe -nic mlx5          # emit the fleet discovery document
 //	opendesc describe -check desc.json   # validate one as the controller would
+//	opendesc verify e1000e               # differential verification: 4 views × all paths
+//	opendesc verify -all -mutants 32     # ... every bundled NIC + adversarial mutants
+//	opendesc verify -break mlx5          # ablation: harness catches an injected accessor bug
 //
 // The -nic flag accepts a bundled model name (see -list) or a path to a .p4
 // interface description. The intent comes from -intent (a P4 file with a
@@ -65,6 +68,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "describe" {
 		if err := runDescribe(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		if err := runVerify(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -64,14 +64,16 @@ const (
 	baselineE19Packets = 4096
 	baselineE20Packets = 2048
 	baselineE21Packets = 4096
+	baselineE22Mutants = 32 // mutants screened per bundled NIC (×6 NICs)
 )
 
-// BaselineExperiments returns the eight artifact-emitting experiments at
+// BaselineExperiments returns the nine artifact-emitting experiments at
 // their pinned baseline parameters: the E4 datapath comparison, the E11
 // interface-model microbench, E15 live renegotiation, the E16 fault
 // matrix, the E17 flight-recorder overhead run, the E19 multi-tenant
-// serving plane, the E20 fleet control plane, and the E21 fleet
-// telemetry/evidence-bake run.
+// serving plane, the E20 fleet control plane, the E21 fleet
+// telemetry/evidence-bake run, and the E22 differential-verification
+// harness run.
 func BaselineExperiments() []BaselineExp {
 	return []BaselineExp{
 		{"e4", "e4_datapath", func() (*Table, error) { return E4Datapath(baselinePackets, baselineMinDur) }},
@@ -82,5 +84,6 @@ func BaselineExperiments() []BaselineExp {
 		{"e19", "e19_tenants", func() (*Table, error) { return E19Tenants(baselineE19Packets) }},
 		{"e20", "e20_fleet", func() (*Table, error) { return E20Fleet(baselineE20Packets) }},
 		{"e21", "e21_teleme", func() (*Table, error) { return E21Telemetry(baselineE21Packets) }},
+		{"e22", "e22_diff", func() (*Table, error) { return E22Diffverify(baselineE22Mutants) }},
 	}
 }

@@ -1,0 +1,128 @@
+package bitfield
+
+import "testing"
+
+// The S27 differential harness leans on three properties of this package:
+// extraction is exact at the width extremes (1, 63, 64), straddling a
+// 64-bit word or a completion-entry boundary changes nothing, and writes
+// never touch bits outside their window. These tables pin each property at
+// the exact offsets where a shift/mask bug would hide.
+
+// edgeWidths are the widths where off-by-one mask arithmetic breaks first.
+var edgeWidths = []int{1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64}
+
+// edgeOffsets place fields against every boundary the accessor fast path
+// cares about: bit 0, odd bit positions, the 64-bit word boundary (bits
+// 60..68), and the 88-bit edge of an 11-byte completion entry (so a field
+// beginning in entry 0 ends inside entry 1 of a packed pair).
+var edgeOffsets = []int{0, 1, 3, 7, 8, 59, 60, 61, 63, 64, 65, 84, 87, 88, 89, 120}
+
+// patterns returns the boundary values for a width: zero, all-ones, the
+// LSB, the sign bit, and both alternating phases.
+func patterns(w int) []uint64 {
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = (1 << w) - 1
+	}
+	return []uint64{0, mask, 1 & mask, (uint64(1) << (w - 1)) & mask,
+		0x5555555555555555 & mask, 0xaaaaaaaaaaaaaaaa & mask}
+}
+
+// TestEdgeRoundTrip: Write then Read returns the masked value for every
+// (width, offset, pattern) combination, in both a zeroed and an all-ones
+// buffer (the latter catches masks that fail to clear stale bits).
+func TestEdgeRoundTrip(t *testing.T) {
+	const bufBytes = 22 // two 11-byte completion entries
+	for _, w := range edgeWidths {
+		for _, off := range edgeOffsets {
+			if off+w > bufBytes*8 {
+				continue
+			}
+			for _, fill := range []byte{0x00, 0xff} {
+				for _, v := range patterns(w) {
+					b := make([]byte, bufBytes)
+					for i := range b {
+						b[i] = fill
+					}
+					Write(b, off, w, v)
+					if got := Read(b, off, w); got != v {
+						t.Fatalf("w=%d off=%d fill=%#x: wrote %#x read %#x", w, off, fill, v, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeAlignedParity: ReadAligned agrees with Read at every edge
+// combination — including the unaligned and odd-width cases where it must
+// take its fallback path, and the aligned 8/16/32/64 cases where it takes
+// single loads.
+func TestEdgeAlignedParity(t *testing.T) {
+	const bufBytes = 22
+	b := make([]byte, bufBytes)
+	for i := range b {
+		b[i] = byte(i*151 + 29)
+	}
+	for _, w := range edgeWidths {
+		for _, off := range edgeOffsets {
+			if off+w > bufBytes*8 {
+				continue
+			}
+			if got, want := ReadAligned(b, off, w), Read(b, off, w); got != want {
+				t.Errorf("w=%d off=%d: aligned %#x != read %#x", w, off, got, want)
+			}
+		}
+	}
+}
+
+// TestEdgeNeighborsUntouched: a write at any edge combination leaves every
+// bit outside its window exactly as it found it.
+func TestEdgeNeighborsUntouched(t *testing.T) {
+	const bufBytes = 22
+	for _, w := range edgeWidths {
+		for _, off := range edgeOffsets {
+			if off+w > bufBytes*8 {
+				continue
+			}
+			b := make([]byte, bufBytes)
+			for i := range b {
+				b[i] = byte(i*91 + 17)
+			}
+			orig := append([]byte(nil), b...)
+			Write(b, off, w, 0xdeadbeefcafef00d)
+			for bit := 0; bit < bufBytes*8; bit++ {
+				if bit >= off && bit < off+w {
+					continue
+				}
+				if Read(b, bit, 1) != Read(orig, bit, 1) {
+					t.Fatalf("w=%d off=%d: neighbor bit %d changed", w, off, bit)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeWordStraddle pins the canonical straddle shapes by hand: a field
+// crossing the 64-bit word boundary and one crossing the 11-byte
+// completion-entry boundary carry their big-endian bit order across the
+// seam.
+func TestEdgeWordStraddle(t *testing.T) {
+	b := make([]byte, 22)
+	// 8 bits at offset 60: high nibble in byte 7, low nibble in byte 8.
+	Write(b, 60, 8, 0xa5)
+	if b[7]&0x0f != 0x0a || b[8]&0xf0 != 0x50 {
+		t.Errorf("word straddle bytes = %02x %02x, want 0a 50", b[7]&0x0f, b[8]&0xf0)
+	}
+	if got := Read(b, 60, 8); got != 0xa5 {
+		t.Errorf("word straddle read %#x, want 0xa5", got)
+	}
+	// 16 bits at offset 80: the last byte of entry 0 plus the first of entry 1.
+	Write(b, 80, 16, 0xbeef)
+	if b[10] != 0xbe || b[11] != 0xef {
+		t.Errorf("entry straddle bytes = %02x %02x, want be ef", b[10], b[11])
+	}
+	if got := Read(b, 80, 16); got != 0xbeef {
+		t.Errorf("entry straddle read %#x, want 0xbeef", got)
+	}
+}

@@ -23,7 +23,11 @@
 //     number of operations once the device is healthy again;
 //   - metrics-consistency — driver, device, ring, injector and
 //     flight-recorder counters agree with each other and with the harness's
-//     own accounting.
+//     own accounting;
+//   - diffverify — the description under test holds a passing S27
+//     differential-verification certificate (static layout, CFG walk,
+//     interpreter, generated accessors and SoftNIC golden all agree on every
+//     completion path) before any schedule executes.
 //
 // A violating run can be handed to the shrinker (shrink.go), which
 // delta-debugs the event schedule down to a minimal reproducer and renders
@@ -36,7 +40,9 @@ import (
 
 	"opendesc"
 	"opendesc/internal/codegen"
+	"opendesc/internal/diffverify"
 	"opendesc/internal/faults"
+	"opendesc/internal/nic"
 	"opendesc/internal/nicsim"
 	"opendesc/internal/semantics"
 	"opendesc/internal/softnic"
@@ -110,6 +116,12 @@ type Config struct {
 	// liveness bug (HardenOptions.DisableResync) so tests can prove the
 	// oracles catch it. Never set outside a test or a canary run.
 	DisableResync bool
+	// VerifyOverride, when non-empty, substitutes this P4 source for the
+	// bundled description in the S27 diffverify oracle — a test hook proving
+	// the oracle fires. The datapath still runs the bundled model: in
+	// production an unverified description never gets that far, which is
+	// exactly the property the hook demonstrates.
+	VerifyOverride string
 	// DumpDir, when non-empty, receives an .odfl flight dump of the
 	// violating queue when an oracle fires.
 	DumpDir string
@@ -253,6 +265,11 @@ func Run(cfg Config, seed uint64) *Result {
 func RunSchedule(cfg Config, s Schedule) *Result {
 	cfg = cfg.withDefaults()
 	r := &runner{cfg: cfg, clk: vclock.NewVirtual(1), res: &Result{}}
+	if v := r.verifyDescription(); v != nil {
+		r.res.Violation = v
+		r.res.Trace = []byte(r.log.String())
+		return r.res
+	}
 	if err := r.setup(s.Seed); err != nil {
 		// A scenario that cannot even open its drivers is a configuration
 		// error, reported as a violation of the "setup" pseudo-oracle so
@@ -273,6 +290,26 @@ func RunSchedule(cfg Config, s Schedule) *Result {
 	}
 	r.drain(len(s.Events))
 	return r.finish()
+}
+
+// verifyDescription is the S27 diffverify oracle: before the schedule runs,
+// the description of record must hold a passing differential-verification
+// certificate. Certificates are digest-cached process-wide, so repeated runs
+// and sweeps pay for one harness execution per distinct description.
+func (r *runner) verifyDescription() *Violation {
+	name, src := r.cfg.NIC, r.cfg.VerifyOverride
+	if src == "" {
+		m, err := nic.Load(r.cfg.NIC)
+		if err != nil {
+			return nil // setup will report the load failure with full context
+		}
+		src = m.Source
+	}
+	if cert := diffverify.CertifyCached(name, src); !cert.Passed {
+		fmt.Fprintf(&r.log, "VIOLATION diffverify: %s\n", cert.Reason)
+		return &Violation{Oracle: "diffverify", Detail: cert.Reason}
+	}
+	return nil
 }
 
 // setup opens one driver per queue on a shared virtual clock.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opendesc/internal/diffverify"
 	"opendesc/internal/fleet"
 	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/nic"
@@ -42,6 +43,15 @@ type FleetConfig struct {
 	// controller to quarantine that host the moment its forgery actually
 	// lies, and to never quarantine an honest one.
 	ForgedTelemetry bool
+	// MutatedDescription arms host index 2 with a rogue describe mutator: it
+	// republishes its own description with an emitted semantic field widened
+	// past the accessor domain, digest and capability claims recomputed so
+	// the document is structurally self-consistent — only the S27
+	// verification gate can reject it. The verified-gating oracle then
+	// requires that host to be quarantined at bootstrap with a
+	// "verification:" reason and to stay on its boot generation for the
+	// whole run: no provision, no trial, no promotion ever reaches it.
+	MutatedDescription bool
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -179,6 +189,17 @@ func (r *fleetRunner) setup(seed uint64) error {
 		r.hosts = append(r.hosts, h)
 		r.links = append(r.links, l)
 	}
+	if cfg.MutatedDescription && len(r.hosts) > 2 {
+		src, err := diffverify.WidenFirstSemantic(r.hosts[2].Model.Source, 96)
+		if err != nil {
+			return fmt.Errorf("mutated description: %v", err)
+		}
+		r.hosts[2].SetDescribeMutator(func(d *fleet.Description) {
+			if rd, rerr := d.RewriteSource(src); rerr == nil {
+				*d = *rd
+			}
+		})
+	}
 	if cfg.ForgedTelemetry && len(r.hosts) > 1 {
 		// Clean-slate forgery: the report claims nothing was delivered and
 		// nothing went wrong. It re-seals with a valid digest, so it lies
@@ -196,8 +217,27 @@ func (r *fleetRunner) setup(seed uint64) error {
 	}
 	// Bootstrap with links up: discovery + provision are the precondition
 	// the schedule then attacks.
-	if rep := r.ctrl.Inventory(); rep.Healthy != cfg.Hosts {
-		return fmt.Errorf("bootstrap inventory: %d/%d healthy", rep.Healthy, cfg.Hosts)
+	wantHealthy := cfg.Hosts
+	if cfg.MutatedDescription && cfg.Hosts > 2 {
+		wantHealthy--
+	}
+	rep := r.ctrl.Inventory()
+	if rep.Healthy != wantHealthy {
+		return fmt.Errorf("bootstrap inventory: %d/%d healthy, want %d", rep.Healthy, cfg.Hosts, wantHealthy)
+	}
+	if cfg.MutatedDescription && cfg.Hosts > 2 {
+		found := false
+		for _, q := range rep.Quarantined {
+			if q.Host == r.hosts[2].Name {
+				found = true
+				if !strings.HasPrefix(q.Reason, "verification: ") {
+					return fmt.Errorf("mutated host quarantined for %q, want a verification reason", q.Reason)
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("mutated-description host %s not quarantined at bootstrap", r.hosts[2].Name)
+		}
 	}
 	if err := r.ctrl.Provision(); err != nil {
 		return fmt.Errorf("bootstrap provision: %v", err)
@@ -359,6 +399,16 @@ func (r *fleetRunner) feed() {
 func (r *fleetRunner) checkOracles(step int) {
 	if r.viol != nil {
 		return
+	}
+	if r.cfg.MutatedDescription && len(r.hosts) > 2 {
+		// Verified-gating oracle: the quarantined host never advances past
+		// its boot generation — no provision, trial, or promotion reached it.
+		h := r.hosts[2]
+		if g, cg := h.Generation(), h.CommittedGeneration(); g != 0 || cg != 0 {
+			r.fail(&Violation{Oracle: "verified-gating", Step: step, Queue: 2,
+				Detail: fmt.Sprintf("unverified host %s advanced to gen %d (committed %d); the certificate gate leaked", h.Name, g, cg)})
+			return
+		}
 	}
 	for i, h := range r.hosts {
 		hl := h.Health()

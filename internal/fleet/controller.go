@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"opendesc/internal/core"
+	"opendesc/internal/diffverify"
 	"opendesc/internal/fleet/telemetry"
 	"opendesc/internal/obs"
 	"opendesc/internal/retry"
@@ -86,6 +87,12 @@ type Options struct {
 	// bucket quantization around small baselines (defaults 4 and 256ns).
 	LatencyBudgetFactor  uint64
 	LatencyBudgetSlackNs uint64
+	// DisableVerify skips the S27 differential-verification gate: structural
+	// validation alone admits a description, as before the gate existed. Kept
+	// as an ablation — with it set, a description whose views disagree (or
+	// that the harness cannot certify at all) provisions onto hosts and only
+	// the canary bake can catch the damage downstream.
+	DisableVerify bool
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +242,26 @@ func (c *Controller) rpc(m *member, fn func() error) error {
 	})
 }
 
+// verifyDescription runs the S27 differential-verification gate on a
+// structurally valid description and returns the quarantine reason, or ""
+// when the description holds a passing certificate. Certificates are
+// digest-keyed and cached process-wide, so a fleet of hosts sharing one
+// description pays for a single harness run. Structural validation says the
+// description is well-formed; the certificate says the compiler triad and
+// the SoftNIC golden model agree on every completion path it describes —
+// without it, a description whose generated accessors read the wrong bits
+// would provision cleanly and corrupt metadata on every delivery.
+func (c *Controller) verifyDescription(nicName, src string) string {
+	if c.opts.DisableVerify {
+		return ""
+	}
+	cert := diffverify.CertifyCached(nicName, src)
+	if cert.Passed {
+		return ""
+	}
+	return fmt.Sprintf("verification: %s", cert.Reason)
+}
+
 // intent materializes the controller's read set as a core intent.
 func (c *Controller) intent(sems []string) (*core.Intent, error) {
 	names := make([]semantics.Name, len(sems))
@@ -267,6 +294,8 @@ func (c *Controller) Inventory() InventoryReport {
 			m.reason = fmt.Sprintf("unreachable: %v", err)
 		} else if v, verr := Validate(raw); verr != nil {
 			m.reason = verr.Error()
+		} else if vreason := c.verifyDescription(v.Desc.NIC, v.Desc.P4); vreason != "" {
+			m.reason = vreason
 		} else {
 			m.ok, m.val, m.digest = true, v, v.Digest
 		}
@@ -405,6 +434,14 @@ func (c *Controller) StartRollout(up Upgrade) (*Rollout, error) {
 		v, verr := ValidateSource(nicName, src)
 		if verr != nil {
 			return nil, fmt.Errorf("fleet: upgrade %q description for %s rejected: %v", up.Name, nicName, verr)
+		}
+		// The verification gate applies to pushed descriptions too: a vendor
+		// update whose views disagree never reaches a canary. (A description
+		// that *lies about meaning* — swapped or stripped semantics — still
+		// certifies: the triad agrees on the bits; only the canary bake
+		// against SoftNIC ground truth can judge meaning.)
+		if vreason := c.verifyDescription(nicName, src); vreason != "" {
+			return nil, fmt.Errorf("fleet: upgrade %q description for %s rejected: %s", up.Name, nicName, vreason)
 		}
 		overrides[nicName] = v
 	}

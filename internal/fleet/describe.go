@@ -118,6 +118,40 @@ func Describe(m *nic.Model, host string) (*Description, error) {
 	}, nil
 }
 
+// RewriteSource returns a copy of d publishing src as its interface
+// description, with the content digest and every recomputed capability
+// claim (semantics, path count, completion sizes) consistent with the new
+// source. This models the *structurally honest* rogue publisher: the
+// document sails through Validate because nothing in it contradicts itself —
+// only the S27 differential-verification gate (or, for pure meaning lies,
+// the canary bake) can tell the description is not one to serve on.
+func (d *Description) RewriteSource(src string) (*Description, error) {
+	v, err := ValidateSource(d.NIC, src)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rewrite for %s: %w", d.NIC, err)
+	}
+	out := *d
+	out.P4 = src
+	out.Digest = v.Digest
+	sems := make([]string, 0, len(v.Providable))
+	for _, n := range v.Providable.Sorted() {
+		sems = append(sems, string(n))
+	}
+	out.Capabilities.Semantics = sems
+	out.Capabilities.Paths = len(v.Paths)
+	sizes := make(map[int]bool)
+	var sizeList []int
+	for _, p := range v.Paths {
+		if n := p.SizeBytes(); !sizes[n] {
+			sizes[n] = true
+			sizeList = append(sizeList, n)
+		}
+	}
+	sort.Ints(sizeList)
+	out.Capabilities.CompletionBytes = sizeList
+	return &out, nil
+}
+
 // Validated is a description that survived structural validation, carrying
 // everything a compile needs so the expensive frontend work (parse, sema,
 // graph, paths) is never repeated.

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"opendesc/internal/diffverify"
+	"opendesc/internal/nic"
+	"opendesc/internal/vclock"
+)
+
+// rogueWiden installs a describe mutator on h that republishes its own
+// description with the first emitted semantic field widened to 96 bits —
+// digest and capability claims recomputed so the document is structurally
+// self-consistent and only verification can reject it.
+func rogueWiden(t *testing.T, h *Host) {
+	t.Helper()
+	src, err := diffverify.WidenFirstSemantic(h.Model.Source, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetDescribeMutator(func(d *Description) {
+		rd, rerr := d.RewriteSource(src)
+		if rerr != nil {
+			t.Errorf("rewrite: %v", rerr)
+			return
+		}
+		*d = *rd
+	})
+}
+
+func newVerifyFleet(t *testing.T, opts Options) (*Controller, []*Host) {
+	t.Helper()
+	clk := vclock.NewVirtual(0)
+	opts.Clock = clk
+	c := NewController(opts)
+	var hosts []*Host
+	for i, name := range []string{"e1000e", "mlx5", "ice"} {
+		h, err := NewHost(name+"-0"+string(rune('1'+i)), nic.MustLoad(name), HostOptions{Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddHost(h, NewLink(clk, 1000))
+		hosts = append(hosts, h)
+	}
+	return c, hosts
+}
+
+// TestInventoryQuarantinesUnverified: a structurally self-consistent
+// description that fails differential verification is quarantined at
+// inventory with an operator-visible "verification:" reason, and Provision
+// never touches the host — it keeps serving its boot layout.
+func TestInventoryQuarantinesUnverified(t *testing.T) {
+	c, hosts := newVerifyFleet(t, Options{})
+	rogueWiden(t, hosts[1])
+	rep := c.Inventory()
+	if rep.Healthy != 2 || len(rep.Quarantined) != 1 {
+		t.Fatalf("inventory %d healthy / %d quarantined, want 2/1", rep.Healthy, len(rep.Quarantined))
+	}
+	q := rep.Quarantined[0]
+	if q.Host != hosts[1].Name {
+		t.Errorf("quarantined %s, want %s", q.Host, hosts[1].Name)
+	}
+	if !strings.HasPrefix(q.Reason, "verification: ") {
+		t.Errorf("reason %q does not name the verification gate", q.Reason)
+	}
+	if !strings.Contains(q.Reason, "96 bits") {
+		t.Errorf("reason %q does not carry the harness rejection", q.Reason)
+	}
+	if err := c.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	if g := hosts[1].Generation(); g != 0 {
+		t.Errorf("quarantined host provisioned to gen %d, want boot gen 0", g)
+	}
+	if hosts[0].Generation() == 0 || hosts[2].Generation() == 0 {
+		t.Error("healthy hosts not provisioned")
+	}
+}
+
+// TestDisableVerifyAblation: with the gate disabled, the same rogue
+// description inventories healthy and provisions — the pre-S27 behavior the
+// ablation exists to demonstrate.
+func TestDisableVerifyAblation(t *testing.T) {
+	c, hosts := newVerifyFleet(t, Options{DisableVerify: true})
+	rogueWiden(t, hosts[1])
+	rep := c.Inventory()
+	if rep.Healthy != 3 || len(rep.Quarantined) != 0 {
+		t.Fatalf("ablated inventory %d healthy / %d quarantined, want 3/0", rep.Healthy, len(rep.Quarantined))
+	}
+	if err := c.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	if hosts[1].Generation() == 0 {
+		t.Error("ablation did not provision the unverified description")
+	}
+}
+
+// TestRolloutRejectsUnverifiedPush: a vendor-pushed description that fails
+// verification aborts StartRollout before any host is touched.
+func TestRolloutRejectsUnverifiedPush(t *testing.T) {
+	c, hosts := newVerifyFleet(t, Options{})
+	c.Inventory()
+	if err := c.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := diffverify.WidenFirstSemantic(hosts[0].Model.Source, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.StartRollout(Upgrade{
+		Name:         "bad-push",
+		Descriptions: map[string]string{hosts[0].Model.Name: src},
+	})
+	if err == nil {
+		t.Fatal("rollout accepted an unverifiable description")
+	}
+	if !strings.Contains(err.Error(), "verification: ") {
+		t.Errorf("error %q does not name the verification gate", err)
+	}
+	if c.Phase() != PhaseIdle {
+		t.Errorf("phase %s after rejected rollout, want idle", c.Phase())
+	}
+}
+
+// TestVerifiedPushStillCertifies: the gate does not over-reject — a
+// semantics-swapped description (a meaning lie the harness cannot judge)
+// passes verification and reaches the canary, whose bake is the layer that
+// catches it. Division of labor, not redundancy.
+func TestVerifiedPushStillCertifies(t *testing.T) {
+	m := nic.MustLoad("mlx5")
+	src, err := SwapSemantics(m.Source, "rss", "flow_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := diffverify.CertifyCached(m.Name, src)
+	if !cert.Passed {
+		t.Errorf("semantics swap failed certification (%s); the gate is doing the bake's job", cert.Reason)
+	}
+}
